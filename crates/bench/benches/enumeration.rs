@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: plan-space enumeration (query-level work,
+//! independent of database size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lapushdb::core::{count_minimal_plans, minimal_plans, single_plan, EnumOptions, SchemaInfo};
+use lapushdb::prelude::*;
+use lapushdb::query::is_hierarchical;
+use lapushdb::workload::{chain_query, star_query};
+
+fn bench_minimal_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimal_plans");
+    g.sample_size(10);
+    for k in [4usize, 6, 8] {
+        let q = chain_query(k);
+        let shape = QueryShape::of_query(&q);
+        g.bench_with_input(BenchmarkId::new("chain", k), &shape, |b, s| {
+            b.iter(|| minimal_plans(s).len())
+        });
+    }
+    for k in [3usize, 5] {
+        let q = star_query(k);
+        let shape = QueryShape::of_query(&q);
+        g.bench_with_input(BenchmarkId::new("star", k), &shape, |b, s| {
+            b.iter(|| minimal_plans(s).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_count_minimal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count_minimal_plans");
+    g.sample_size(10);
+    for k in [6usize, 8] {
+        let q = chain_query(k);
+        let shape = QueryShape::of_query(&q);
+        g.bench_with_input(BenchmarkId::new("chain", k), &shape, |b, s| {
+            b.iter(|| count_minimal_plans(s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_plan");
+    g.sample_size(10);
+    for k in [4usize, 6, 8] {
+        let q = chain_query(k);
+        let schema = SchemaInfo::from_query(&q);
+        g.bench_with_input(BenchmarkId::new("chain", k), &q, |b, q| {
+            b.iter(|| single_plan(q, &schema, EnumOptions::default()).size())
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy_check");
+    for k in [4usize, 8] {
+        let q = chain_query(k);
+        let shape = QueryShape::of_query(&q);
+        let atoms = shape.all_atoms();
+        g.bench_with_input(BenchmarkId::new("chain", k), &shape, |b, s| {
+            b.iter(|| is_hierarchical(s, &atoms, s.head))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_minimal_plans,
+    bench_count_minimal,
+    bench_single_plan,
+    bench_hierarchy_check
+);
+criterion_main!(benches);

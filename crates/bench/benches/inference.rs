@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks: inference methods per lineage size —
+//! dissociation vs. exact WMC vs. MC(1k) vs. Karp-Luby(1k), the engine
+//! counterpart of Figures 5e–5h.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lapush_bench::controlled_rst_db;
+use lapushdb::lineage::{build_lineage, exact_prob, karp_luby, monte_carlo};
+use lapushdb::prelude::*;
+use lapushdb::{rank_by_dissociation, RankOptions};
+
+fn bench_methods_by_lineage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference_by_degree");
+    g.sample_size(10);
+    for degree in [2usize, 4, 8] {
+        let (db, q) = controlled_rst_db(10, 4, degree, 0.6, 5);
+
+        g.bench_with_input(BenchmarkId::new("dissociation", degree), &degree, |b, _| {
+            b.iter(|| {
+                rank_by_dissociation(&db, &q, RankOptions::default())
+                    .expect("diss")
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lineage_build", degree), &degree, |b, _| {
+            b.iter(|| build_lineage(&db, &q).expect("lineage").total_size())
+        });
+        let lin = build_lineage(&db, &q).expect("lineage");
+        g.bench_with_input(BenchmarkId::new("exact_wmc", degree), &degree, |b, _| {
+            b.iter(|| {
+                lin.answers
+                    .iter()
+                    .map(|a| exact_prob(&a.dnf, &lin.var_probs))
+                    .sum::<f64>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mc_1k", degree), &degree, |b, _| {
+            b.iter(|| {
+                lin.answers
+                    .iter()
+                    .map(|a| monte_carlo(&a.dnf, &lin.var_probs, 1000, 3))
+                    .sum::<f64>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("karp_luby_1k", degree), &degree, |b, _| {
+            b.iter(|| {
+                lin.answers
+                    .iter()
+                    .map(|a| karp_luby(&a.dnf, &lin.var_probs, 1000, 3))
+                    .sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_hard_formula(c: &mut Criterion) {
+    // Path formulas X1X2 ∨ X2X3 ∨ … need Shannon splits: exponential-ish
+    // behaviour made visible.
+    let mut g = c.benchmark_group("exact_wmc_path_formula");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let dnf = Dnf::new((0..n - 1).map(|i| vec![i as u32, i as u32 + 1]));
+        let probs = vec![0.5; n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| exact_prob(&dnf, &probs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods_by_lineage, bench_exact_hard_formula);
+criterion_main!(benches);

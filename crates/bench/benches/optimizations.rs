@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks: ablation of the three multi-query
+//! optimizations (Section 4) on chain queries — the engine counterpart of
+//! Figures 5a–5d.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lapush_bench::{run_method, Method};
+use lapushdb::workload::{chain_db, chain_query, find_chain_domain};
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 5_000usize;
+    for k in [4usize, 6] {
+        let mut g = c.benchmark_group(format!("optimizations_chain{k}_n{n}"));
+        g.sample_size(10);
+        let domain = find_chain_domain(k, n, 35.0);
+        let db = chain_db(k, n, domain, 1.0, 77).expect("db");
+        let q = chain_query(k);
+        for m in Method::all() {
+            g.bench_with_input(BenchmarkId::from_parameter(m.label()), &m, |b, &m| {
+                b.iter(|| run_method(&db, &q, m).0)
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Figure 5i / Result 3: ranking quality (MAP@10) of Monte Carlo as a
+//! function of the number of samples, against the dissociation and
+//! lineage-size baselines, on the TPC-H ranking query with
+//! `$2 = '%red%green%'`.
+//!
+//! Paper reference values: MC = 0.472 (10 samples) … 0.964 (10k),
+//! dissociation = 0.998, lineage-size = 0.515. Runs are filtered to
+//! `0.1 < avg[pa] < 0.9`, the regime where MC is strongest (Result 4).
+//!
+//! `cargo run --release -p lapush-bench --bin fig5i_ranking_quality`
+
+use lapush_bench::{ap_against, avg_top_answer_prob, print_table, scale, Scale};
+use lapushdb::rank::mean_std;
+use lapushdb::workload::{tpch_db, tpch_query, TpchConfig};
+use lapushdb::{exact_answers, lineage_stats, mc_answers, rank_by_dissociation, RankOptions};
+
+fn main() {
+    // The paper uses `$2 = '%red%green%'` on full TPC-H (200k parts,
+    // ~hundreds of matching parts). At our reduced scales that pattern
+    // matches almost nothing, so `%red%` is the selectivity-faithful
+    // stand-in.
+    let (repeats, suppliers, parts, pattern) = match scale() {
+        Scale::Quick => (2usize, 120, 1_500, "%red%"),
+        Scale::Normal => (8, 200, 3_000, "%red%"),
+        Scale::Full => (20, 400, 8_000, "%red%green%"),
+    };
+    let samples = [10usize, 30, 100, 300, 1_000, 3_000, 10_000];
+
+    let mut ap_mc: Vec<Vec<f64>> = vec![Vec::new(); samples.len()];
+    let mut ap_diss: Vec<f64> = Vec::new();
+    let mut ap_lin: Vec<f64> = Vec::new();
+    let mut used = 0usize;
+
+    for rep in 0..repeats * 3 {
+        if used >= repeats {
+            break;
+        }
+        // Vary pi_max to sweep the avg[pa] spectrum, keep mid-regime runs.
+        let pi_max = 0.25 + 0.15 * (rep % 4) as f64;
+        let cfg = TpchConfig {
+            suppliers,
+            parts,
+            pi_max,
+            seed: 100 + rep as u64,
+        };
+        let db = tpch_db(cfg).expect("db");
+        let q = tpch_query((suppliers / 2) as i64, pattern);
+
+        let gt = exact_answers(&db, &q).expect("exact");
+        if gt.len() < 5 {
+            continue;
+        }
+        let pa = avg_top_answer_prob(&gt, 10);
+        if !(0.1..0.9).contains(&pa) {
+            continue;
+        }
+        used += 1;
+
+        let diss = rank_by_dissociation(&db, &q, RankOptions::default()).expect("diss");
+        ap_diss.push(ap_against(&diss, &gt, 10));
+        let (lin, _) = lineage_stats(&db, &q).expect("lineage");
+        ap_lin.push(ap_against(&lin, &gt, 10));
+        for (i, &x) in samples.iter().enumerate() {
+            let mc = mc_answers(&db, &q, x, 7 + rep as u64).expect("mc");
+            ap_mc[i].push(ap_against(&mc, &gt, 10));
+        }
+    }
+
+    let paper_mc = [0.472, 0.596, 0.727, 0.823, 0.894, 0.936, 0.964];
+    let mut rows = Vec::new();
+    for (i, &x) in samples.iter().enumerate() {
+        let (m, s) = mean_std(&ap_mc[i]);
+        rows.push(vec![
+            format!("MC({x})"),
+            format!("{m:.3}"),
+            format!("{s:.3}"),
+            format!("{:.3}", paper_mc[i]),
+        ]);
+    }
+    let (m, s) = mean_std(&ap_diss);
+    rows.push(vec![
+        "dissociation".into(),
+        format!("{m:.3}"),
+        format!("{s:.3}"),
+        "0.998".into(),
+    ]);
+    let (m, s) = mean_std(&ap_lin);
+    rows.push(vec![
+        "lineage size".into(),
+        format!("{m:.3}"),
+        format!("{s:.3}"),
+        "0.515".into(),
+    ]);
+    print_table(
+        &format!("Figure 5i: MAP@10 over {used} runs, 0.1 < avg[pa] < 0.9"),
+        &["method", "MAP@10", "std", "paper"],
+        &rows,
+    );
+    println!("\nExpected shape: MC improves monotonically with samples;");
+    println!("dissociation ≈ 1 dominates; lineage-size ranking is far weaker.");
+}

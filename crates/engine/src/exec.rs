@@ -1,0 +1,563 @@
+//! Plan evaluation.
+
+use crate::rel::{join_many, min_combine, project_det, project_max, project_prob, Rel};
+use lapush_core::{Plan, PlanKind};
+use lapush_query::{Atom, Query, Term, Var, VarSet};
+use lapush_storage::{Database, FxHashMap, Value};
+use std::fmt;
+
+/// Score semantics for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Semantics {
+    /// Extensional probabilistic semantics (Definition 4): joins multiply,
+    /// projections combine duplicates with independent-OR. Upper-bounds the
+    /// true probability (Corollary 19).
+    #[default]
+    Probabilistic,
+    /// Lower-bound semantics (extension): joins multiply, projections take
+    /// the *maximum* over the group. Sound because the events of a monotone
+    /// lineage are positively associated: `P(⋁ᵢ eᵢ) ≥ maxᵢ P(eᵢ)` and, by
+    /// the FKG inequality, `P(e ∧ e′) ≥ P(e)·P(e′)`. Together with
+    /// [`Semantics::Probabilistic`] this sandwiches the true probability.
+    LowerBound,
+    /// Standard set semantics (every score is 1): the "deterministic SQL"
+    /// baseline of the experiments.
+    Deterministic,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Score semantics.
+    pub semantics: Semantics,
+    /// Optimization 2: memoize shared subquery results while evaluating a
+    /// single plan (sound for plans produced by `lapush_core::single_plan`,
+    /// whose equal subquery keys denote equal subplans).
+    pub reuse_views: bool,
+}
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan references a relation missing from the database.
+    UnknownRelation(String),
+    /// Arity mismatch between an atom and its relation.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Columns in the stored relation.
+        relation_arity: usize,
+        /// Terms in the query atom.
+        atom_arity: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ExecError::AtomArity {
+                relation,
+                relation_arity,
+                atom_arity,
+            } => write!(
+                f,
+                "atom over `{relation}` has {atom_arity} terms but the relation has {relation_arity} columns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of evaluating a plan: per answer tuple (head variables of the
+/// query, in head order) a score.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    /// Head variables, in the query's head order.
+    pub vars: Vec<Var>,
+    /// Answer tuples with scores.
+    pub rows: FxHashMap<Box<[Value]>, f64>,
+}
+
+impl AnswerSet {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no answers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Score of a Boolean query (the single empty-tuple answer);
+    /// 0 when there is no answer.
+    pub fn boolean_score(&self) -> f64 {
+        let k: Box<[Value]> = Box::new([]);
+        self.rows.get(&k).copied().unwrap_or(0.0)
+    }
+
+    /// Score of one answer tuple (0 if absent).
+    pub fn score_of(&self, key: &[Value]) -> f64 {
+        self.rows.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Answers sorted by descending score, ties broken by tuple value for
+    /// determinism.
+    pub fn ranked(&self) -> Vec<(Box<[Value]>, f64)> {
+        let mut v: Vec<(Box<[Value]>, f64)> =
+            self.rows.iter().map(|(k, &s)| (k.clone(), s)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Combine with another answer set by per-tuple maximum (used to pick
+    /// the best lower bound across plans).
+    pub fn max_with(&mut self, other: &AnswerSet) {
+        debug_assert_eq!(self.vars, other.vars);
+        for (k, &s) in &other.rows {
+            match self.rows.get_mut(k) {
+                Some(cur) => *cur = cur.max(s),
+                None => {
+                    self.rows.insert(k.clone(), s);
+                }
+            }
+        }
+    }
+
+    /// Combine with another answer set by per-tuple minimum.
+    pub fn min_with(&mut self, other: &AnswerSet) {
+        debug_assert_eq!(self.vars, other.vars);
+        for (k, &s) in &other.rows {
+            match self.rows.get_mut(k) {
+                Some(cur) => *cur = cur.min(s),
+                None => {
+                    self.rows.insert(k.clone(), s);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate one plan against the database.
+///
+/// The returned [`AnswerSet`] is keyed by the query's head variables in head
+/// order. With [`Semantics::Probabilistic`] the scores are the extensional
+/// scores of the plan (upper bounds on the answer probabilities,
+/// Corollary 19).
+pub fn eval_plan(
+    db: &Database,
+    q: &Query,
+    plan: &Plan,
+    opts: ExecOptions,
+) -> Result<AnswerSet, ExecError> {
+    let mut cache: FxHashMap<(u64, VarSet), Rel> = FxHashMap::default();
+    let rel = eval_node(db, q, plan, opts, &mut cache, false)?;
+    // Reorder columns to the query's head order.
+    let head: Vec<Var> = q.head().to_vec();
+    let perm: Vec<usize> = head
+        .iter()
+        .map(|&v| rel.col_of(v).expect("plan head misses query head var"))
+        .collect();
+    let identity = perm.iter().copied().eq(0..perm.len());
+    let mut rows = FxHashMap::default();
+    if identity {
+        rows = rel.rows;
+    } else {
+        for (k, s) in rel.rows {
+            let key: Box<[Value]> = perm.iter().map(|&c| k[c].clone()).collect();
+            rows.insert(key, s);
+        }
+    }
+    Ok(AnswerSet { vars: head, rows })
+}
+
+fn eval_node(
+    db: &Database,
+    q: &Query,
+    plan: &Plan,
+    opts: ExecOptions,
+    cache: &mut FxHashMap<(u64, VarSet), Rel>,
+    skip_cache_here: bool,
+) -> Result<Rel, ExecError> {
+    let key = (plan.atoms_mask, plan.head);
+    let cacheable = opts.reuse_views
+        && !skip_cache_here
+        && !matches!(plan.kind, PlanKind::Scan { .. });
+    if cacheable {
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit.clone());
+        }
+    }
+    let result = match &plan.kind {
+        PlanKind::Scan { atom } => scan_atom(db, q, &q.atoms()[*atom], opts)?,
+        PlanKind::Project { input } => {
+            let child = eval_node(db, q, input, opts, cache, false)?;
+            let keep: Vec<Var> = plan.head.iter().collect();
+            match opts.semantics {
+                Semantics::Probabilistic => project_prob(&child, &keep),
+                Semantics::LowerBound => project_max(&child, &keep),
+                Semantics::Deterministic => project_det(&child, &keep),
+            }
+        }
+        PlanKind::Join { inputs } => {
+            let children = inputs
+                .iter()
+                .map(|c| eval_node(db, q, c, opts, cache, false))
+                .collect::<Result<Vec<_>, _>>()?;
+            join_many(children)
+        }
+        PlanKind::Min { inputs } => {
+            // Branch children share this node's subquery key but are
+            // *different* subplans: they must not be cached under it.
+            let children = inputs
+                .iter()
+                .map(|c| eval_node(db, q, c, opts, cache, true))
+                .collect::<Result<Vec<_>, _>>()?;
+            min_combine(&children)
+        }
+    };
+    if cacheable {
+        cache.insert(key, result.clone());
+    }
+    Ok(result)
+}
+
+/// Scan one atom: filter by constants, repeated variables, and selection
+/// predicates; output the atom's distinct variables.
+fn scan_atom(db: &Database, q: &Query, atom: &Atom, opts: ExecOptions) -> Result<Rel, ExecError> {
+    let rel = db
+        .relation_by_name(&atom.relation)
+        .map_err(|_| ExecError::UnknownRelation(atom.relation.clone()))?;
+    if rel.arity() != atom.terms.len() {
+        return Err(ExecError::AtomArity {
+            relation: atom.relation.clone(),
+            relation_arity: rel.arity(),
+            atom_arity: atom.terms.len(),
+        });
+    }
+
+    // Output column per first occurrence of each variable.
+    let mut out_vars: Vec<Var> = Vec::new();
+    let mut out_cols: Vec<usize> = Vec::new();
+    // Filters.
+    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
+    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
+    for (c, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => const_filters.push((c, v)),
+            Term::Var(v) => match out_vars.iter().position(|u| u == v) {
+                Some(first) => eq_filters.push((out_cols[first], c)),
+                None => {
+                    out_vars.push(*v);
+                    out_cols.push(c);
+                }
+            },
+        }
+    }
+    // Selection predicates on this atom's variables.
+    let preds: Vec<(usize, &lapush_query::Predicate)> = q
+        .predicates()
+        .iter()
+        .filter_map(|p| {
+            out_vars
+                .iter()
+                .position(|&v| v == p.var)
+                .map(|i| (out_cols[i], p))
+        })
+        .collect();
+
+    let mut out = Rel::empty(out_vars);
+    'rows: for (_, row, prob) in rel.iter() {
+        for &(c, val) in &const_filters {
+            if &row[c] != val {
+                continue 'rows;
+            }
+        }
+        for &(c1, c2) in &eq_filters {
+            if row[c1] != row[c2] {
+                continue 'rows;
+            }
+        }
+        for &(c, p) in &preds {
+            if !p.op.eval(&row[c], &p.value) {
+                continue 'rows;
+            }
+        }
+        let key: Box<[Value]> = out_cols.iter().map(|&c| row[c].clone()).collect();
+        let score = match opts.semantics {
+            Semantics::Probabilistic | Semantics::LowerBound => prob,
+            Semantics::Deterministic => 1.0,
+        };
+        out.insert_max(key, score);
+    }
+    Ok(out)
+}
+
+/// Evaluate a set of plans and combine their scores with a per-tuple
+/// minimum: the propagation score `ρ(q)` when given all minimal plans
+/// (Definition 14).
+pub fn propagation_score(
+    db: &Database,
+    q: &Query,
+    plans: &[Plan],
+    opts: ExecOptions,
+) -> Result<AnswerSet, ExecError> {
+    assert!(!plans.is_empty(), "no plans to evaluate");
+    let mut acc = eval_plan(db, q, &plans[0], opts)?;
+    for p in &plans[1..] {
+        let next = eval_plan(db, q, p, opts)?;
+        acc.min_with(&next);
+    }
+    Ok(acc)
+}
+
+/// The "standard SQL" baseline: evaluate the query under set semantics with
+/// one flat join followed by a distinct projection — no probabilistic
+/// arithmetic at all.
+pub fn deterministic_answers(db: &Database, q: &Query) -> Result<AnswerSet, ExecError> {
+    let opts = ExecOptions {
+        semantics: Semantics::Deterministic,
+        reuse_views: false,
+    };
+    let scans = q
+        .atoms()
+        .iter()
+        .map(|a| scan_atom(db, q, a, opts))
+        .collect::<Result<Vec<_>, _>>()?;
+    let joined = join_many(scans);
+    let head: Vec<Var> = q.head().to_vec();
+    let projected = project_det(&joined, &head);
+    Ok(AnswerSet {
+        vars: head,
+        rows: projected.rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_core::{minimal_plans, safe_plan};
+    use lapush_query::{parse_query, QueryShape};
+    use lapush_storage::tuple::tuple;
+
+    /// Example 7 of the paper: q :- R(x), S(x,y) over
+    /// D = {R(1), R(2), S(1,4), S(1,5)}.
+    fn example7_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 2).unwrap();
+        db.relation_mut(r).push(tuple([1]), 0.5).unwrap();
+        db.relation_mut(r).push(tuple([2]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([1, 4]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([1, 5]), 0.5).unwrap();
+        db
+    }
+
+    #[test]
+    fn safe_plan_computes_exact_probability() {
+        // P(q) for Example 7: F = X(Y ∨ Z) → p(q+r−qr) with all = 0.5:
+        // 0.5 * (0.5 + 0.5 − 0.25) = 0.375.
+        let db = example7_db();
+        let q = parse_query("q :- R(x), S(x, y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let p = safe_plan(&s).unwrap();
+        let ans = eval_plan(&db, &q, &p, ExecOptions::default()).unwrap();
+        assert!((ans.boolean_score() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_boolean_head_ordering() {
+        let db = example7_db();
+        let q = parse_query("q(y) :- R(x), S(x, y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        assert_eq!(plans.len(), 1); // safe: x is a separator
+        let ans = eval_plan(&db, &q, &plans[0], ExecOptions::default()).unwrap();
+        assert_eq!(ans.len(), 2);
+        // Answers y=4 and y=5, each with probability 0.25.
+        assert!((ans.score_of(&[Value::Int(4)]) - 0.25).abs() < 1e-12);
+        assert!((ans.score_of(&[Value::Int(5)]) - 0.25).abs() < 1e-12);
+    }
+
+    /// Example 17 database: R = S = U = {1,2}, T = {(1,1),(1,2),(2,2)},
+    /// every probability 1/2.
+    fn example17_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 1).unwrap();
+        let t = db.create_relation("T", 2).unwrap();
+        let u = db.create_relation("U", 1).unwrap();
+        for x in [1, 2] {
+            db.relation_mut(r).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(s).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(u).push(tuple([x]), 0.5).unwrap();
+        }
+        for (x, y) in [(1, 1), (1, 2), (2, 2)] {
+            db.relation_mut(t).push(tuple([x, y]), 0.5).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn example_17_dissociation_scores() {
+        // Paper: P(q^Δ3) = 169/2^10 ≈ 0.165, P(q^Δ4) = 353/2^11 ≈ 0.172;
+        // propagation score ρ(q) = min ≈ 0.165.
+        let db = example17_db();
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        assert_eq!(plans.len(), 2);
+        let mut scores: Vec<f64> = plans
+            .iter()
+            .map(|p| {
+                eval_plan(&db, &q, p, ExecOptions::default())
+                    .unwrap()
+                    .boolean_score()
+            })
+            .collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((scores[0] - 169.0 / 1024.0).abs() < 1e-12, "{scores:?}");
+        assert!((scores[1] - 353.0 / 2048.0).abs() < 1e-12, "{scores:?}");
+
+        let rho = propagation_score(&db, &q, &plans, ExecOptions::default())
+            .unwrap()
+            .boolean_score();
+        assert!((rho - 169.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_plan_equals_multi_plan_min() {
+        let db = example17_db();
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let rho = propagation_score(&db, &q, &plans, ExecOptions::default())
+            .unwrap()
+            .boolean_score();
+        let sp = lapush_core::single_plan(
+            &q,
+            &lapush_core::SchemaInfo::from_query(&q),
+            lapush_core::EnumOptions::default(),
+        );
+        for reuse in [false, true] {
+            let opts = ExecOptions {
+                semantics: Semantics::Probabilistic,
+                reuse_views: reuse,
+            };
+            let got = eval_plan(&db, &q, &sp, opts).unwrap().boolean_score();
+            assert!((got - rho).abs() < 1e-12, "reuse={reuse}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_semantics_sandwiches_exact() {
+        // Example 17: exact = 83/512 ≈ 0.162; the best single derivation
+        // has probability 0.5⁴ = 0.0625.
+        let db = example17_db();
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let low_opts = ExecOptions {
+            semantics: Semantics::LowerBound,
+            reuse_views: false,
+        };
+        for p in &plans {
+            let lo = eval_plan(&db, &q, p, low_opts).unwrap().boolean_score();
+            let hi = eval_plan(&db, &q, p, ExecOptions::default())
+                .unwrap()
+                .boolean_score();
+            assert!(lo <= 83.0 / 512.0 + 1e-12, "lower {lo} exceeds exact");
+            assert!(hi >= 83.0 / 512.0 - 1e-12);
+            assert!((lo - 0.0625).abs() < 1e-12, "best derivation: {lo}");
+        }
+    }
+
+    #[test]
+    fn deterministic_baseline_counts_answers() {
+        let db = example7_db();
+        let q = parse_query("q(y) :- R(x), S(x, y)").unwrap();
+        let ans = deterministic_answers(&db, &q).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert_eq!(ans.score_of(&[Value::Int(4)]), 1.0);
+    }
+
+    #[test]
+    fn constants_in_atoms_filter_rows() {
+        let db = example7_db();
+        let q = parse_query("q :- R(1), S(1, y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let ans = propagation_score(&db, &q, &plans, ExecOptions::default()).unwrap();
+        // F = R(1) ∧ (S(1,4) ∨ S(1,5)): 0.5 * 0.75 = 0.375 (safe: exact).
+        assert!((ans.boolean_score() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicates_filter_rows() {
+        let db = example7_db();
+        let q = parse_query("q :- R(x), S(x, y), y <= 4").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let ans = propagation_score(&db, &q, &plans, ExecOptions::default()).unwrap();
+        // Only S(1,4) survives: 0.5 * 0.5.
+        assert!((ans.boolean_score() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_var_in_atom() {
+        let mut db = Database::new();
+        let t = db.create_relation("T", 2).unwrap();
+        db.relation_mut(t).push(tuple([1, 1]), 0.5).unwrap();
+        db.relation_mut(t).push(tuple([1, 2]), 0.9).unwrap();
+        let q = parse_query("q :- T(x, x)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let ans = propagation_score(&db, &q, &plans, ExecOptions::default()).unwrap();
+        assert!((ans.boolean_score() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_relation_error() {
+        let db = Database::new();
+        let q = parse_query("q :- Z(x)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        assert!(matches!(
+            eval_plan(&db, &q, &plans[0], ExecOptions::default()),
+            Err(ExecError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_error() {
+        let mut db = Database::new();
+        db.create_relation("R", 2).unwrap();
+        let q = parse_query("q :- R(x)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        assert!(matches!(
+            eval_plan(&db, &q, &plans[0], ExecOptions::default()),
+            Err(ExecError::AtomArity { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_answers() {
+        let mut db = Database::new();
+        db.create_relation("R", 1).unwrap();
+        db.create_relation("S", 2).unwrap();
+        let q = parse_query("q(y) :- R(x), S(x, y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let ans = propagation_score(&db, &q, &plans, ExecOptions::default()).unwrap();
+        assert!(ans.is_empty());
+        let det = deterministic_answers(&db, &q).unwrap();
+        assert!(det.is_empty());
+    }
+}

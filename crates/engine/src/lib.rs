@@ -1,0 +1,30 @@
+//! # lapush-engine
+//!
+//! Executes the plans of `lapush-core` against a `lapush-storage` database
+//! using the **extensional score semantics** of Definition 4: joins multiply
+//! scores, probabilistic projections combine duplicate groups with
+//! independent-OR, and `min` operators take the per-tuple minimum across
+//! alternative subplans (Optimization 1).
+//!
+//! By Corollary 19, the score of any plan upper-bounds the true query
+//! probability; the minimum over all minimal plans is the propagation score
+//! `ρ(q)` ([`propagation_score`]).
+//!
+//! Engine-level features:
+//! * [`exec::ExecOptions::reuse_views`] — Optimization 2 (Algorithm 3):
+//!   memoize shared subquery results during evaluation of the single plan.
+//! * [`semijoin::reduce_database`] — Optimization 3: a full deterministic
+//!   semi-join reduction applied to the base relations before probabilistic
+//!   evaluation.
+//! * deterministic (set) semantics for the "standard SQL" baseline.
+
+pub mod exec;
+pub mod rel;
+pub mod semijoin;
+
+pub use exec::{
+    deterministic_answers, eval_plan, propagation_score, AnswerSet, ExecError, ExecOptions,
+    Semantics,
+};
+pub use rel::Rel;
+pub use semijoin::reduce_database;

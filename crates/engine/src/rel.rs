@@ -1,0 +1,351 @@
+//! Intermediate relations and the physical operators.
+
+use lapush_query::Var;
+use lapush_storage::{FxHashMap, Value};
+
+/// An intermediate result: a bag of distinct variable bindings with scores.
+///
+/// `vars` fixes the column order; `rows` maps a binding (values aligned with
+/// `vars`) to its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rel {
+    /// Column variables, in order.
+    pub vars: Vec<Var>,
+    /// Distinct bindings with scores.
+    pub rows: FxHashMap<Box<[Value]>, f64>,
+}
+
+impl Rel {
+    /// Empty relation with the given columns.
+    pub fn empty(vars: Vec<Var>) -> Self {
+        Rel {
+            vars,
+            rows: FxHashMap::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column position of a variable.
+    pub fn col_of(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&u| u == v)
+    }
+
+    /// Insert a row, combining duplicates with `max` (set semantics keeps
+    /// the strongest derivation; duplicates only arise from re-inserted
+    /// identical bindings).
+    pub fn insert_max(&mut self, key: Box<[Value]>, score: f64) {
+        self.rows
+            .entry(key)
+            .and_modify(|s| *s = s.max(score))
+            .or_insert(score);
+    }
+}
+
+/// Natural join of two intermediate relations; scores multiply
+/// (independent-AND). Joins on all shared variables; preserves left column
+/// order, then right-only columns.
+pub fn join(left: &Rel, right: &Rel) -> Rel {
+    // Determine shared and right-only columns.
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(li, &v)| right.col_of(v).map(|ri| (li, ri)))
+        .collect();
+    let right_only: Vec<usize> = (0..right.vars.len())
+        .filter(|&ri| !shared.iter().any(|&(_, r)| r == ri))
+        .collect();
+
+    let mut out_vars = left.vars.clone();
+    out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
+    let mut out = Rel::empty(out_vars);
+
+    // Index the right input by its join-key values.
+    type Bucket<'a> = Vec<(&'a Box<[Value]>, f64)>;
+    let mut index: FxHashMap<Box<[Value]>, Bucket<'_>> = FxHashMap::default();
+    for (rkey, &rscore) in &right.rows {
+        let jk: Box<[Value]> = shared.iter().map(|&(_, ri)| rkey[ri].clone()).collect();
+        index.entry(jk).or_default().push((rkey, rscore));
+    }
+
+    for (lkey, &lscore) in &left.rows {
+        let jk: Box<[Value]> = shared.iter().map(|&(li, _)| lkey[li].clone()).collect();
+        let Some(matches) = index.get(&jk) else {
+            continue;
+        };
+        for (rkey, rscore) in matches {
+            let mut row: Vec<Value> = lkey.to_vec();
+            row.extend(right_only.iter().map(|&ri| rkey[ri].clone()));
+            out.insert_max(row.into_boxed_slice(), lscore * rscore);
+        }
+    }
+    out
+}
+
+/// Join many relations. Children are folded left-to-right after a greedy
+/// reordering that keeps the accumulated result connected (avoids cartesian
+/// products when possible) and starts from the smallest input.
+pub fn join_many(mut inputs: Vec<Rel>) -> Rel {
+    assert!(!inputs.is_empty(), "join of zero inputs");
+    if inputs.len() == 1 {
+        return inputs.pop().expect("one element");
+    }
+    // Start with the smallest relation.
+    let start = inputs
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.len())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let mut acc = inputs.swap_remove(start);
+    while !inputs.is_empty() {
+        // Prefer the smallest input sharing a variable with `acc`.
+        let next = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.vars.iter().any(|v| acc.col_of(*v).is_some()))
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0); // cartesian product unavoidable
+        let rel = inputs.swap_remove(next);
+        acc = join(&acc, &rel);
+    }
+    acc
+}
+
+/// Probabilistic projection with duplicate elimination: group by `keep`
+/// columns, combine group members with independent-OR
+/// (`1 − ∏(1 − pᵢ)`).
+pub fn project_prob(input: &Rel, keep: &[Var]) -> Rel {
+    let cols: Vec<usize> = keep
+        .iter()
+        .map(|&v| input.col_of(v).expect("projection var missing"))
+        .collect();
+    let mut out = Rel::empty(keep.to_vec());
+    // Accumulate ∏(1 − pᵢ) per group.
+    let mut not_any: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    for (key, &score) in &input.rows {
+        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
+        *not_any.entry(group).or_insert(1.0) *= 1.0 - score;
+    }
+    for (group, na) in not_any {
+        out.rows.insert(group, 1.0 - na);
+    }
+    out
+}
+
+/// Max-projection: group by `keep`, keep the maximum score per group.
+/// Used by the lower-bound semantics: `P(⋁ᵢ eᵢ) ≥ maxᵢ P(eᵢ)`.
+pub fn project_max(input: &Rel, keep: &[Var]) -> Rel {
+    let cols: Vec<usize> = keep
+        .iter()
+        .map(|&v| input.col_of(v).expect("projection var missing"))
+        .collect();
+    let mut out = Rel::empty(keep.to_vec());
+    for (key, &score) in &input.rows {
+        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
+        out.insert_max(group, score);
+    }
+    out
+}
+
+/// Deterministic projection: group by `keep`, score 1 for every surviving
+/// group (standard SQL `SELECT DISTINCT`).
+pub fn project_det(input: &Rel, keep: &[Var]) -> Rel {
+    let cols: Vec<usize> = keep
+        .iter()
+        .map(|&v| input.col_of(v).expect("projection var missing"))
+        .collect();
+    let mut out = Rel::empty(keep.to_vec());
+    for key in input.rows.keys() {
+        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
+        out.rows.insert(group, 1.0);
+    }
+    out
+}
+
+/// Per-tuple minimum across alternative results for the same subquery
+/// (the `min` operator of Optimization 1). All inputs must have the same
+/// variables (column order may differ) and, for plans of the same query,
+/// the same key set.
+pub fn min_combine(inputs: &[Rel]) -> Rel {
+    assert!(!inputs.is_empty(), "min of zero inputs");
+    let base = &inputs[0];
+    let mut out = Rel::empty(base.vars.clone());
+    out.rows = base.rows.clone();
+    for rel in &inputs[1..] {
+        // Align columns to the base order.
+        let perm: Vec<usize> = base
+            .vars
+            .iter()
+            .map(|&v| rel.col_of(v).expect("min over mismatched vars"))
+            .collect();
+        let identity = perm.iter().copied().eq(0..perm.len());
+        for (key, &score) in &rel.rows {
+            let akey: Box<[Value]> = if identity {
+                key.clone()
+            } else {
+                perm.iter().map(|&c| key[c].clone()).collect()
+            };
+            match out.rows.get_mut(&akey) {
+                Some(s) => *s = s.min(score),
+                // Plans of the same query agree on the answer set; a miss
+                // can only stem from caller misuse. Keep the smaller score
+                // interpretation: insert as-is.
+                None => {
+                    out.rows.insert(akey, score);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_storage::Value;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rel(vars: &[u32], rows: &[(&[i64], f64)]) -> Rel {
+        let mut r = Rel::empty(vars.iter().map(|&i| v(i)).collect());
+        for (key, score) in rows {
+            let k: Box<[Value]> = key.iter().map(|&x| Value::Int(x)).collect();
+            r.rows.insert(k, *score);
+        }
+        r
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        // R(x=0, y=1) ⋈ S(y=1, z=2)
+        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[2, 20], 0.4)]);
+        let s = rel(&[1, 2], &[(&[10, 100], 0.5), (&[10, 101], 1.0)]);
+        let j = join(&r, &s);
+        assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
+        assert_eq!(j.len(), 2);
+        let k: Box<[Value]> = [1, 10, 100].iter().map(|&x| Value::Int(x)).collect();
+        assert!((j.rows[&k] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_cartesian_when_disjoint() {
+        let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.5)]);
+        let s = rel(&[1], &[(&[10], 0.5)]);
+        let j = join(&r, &s);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn join_empty_result() {
+        let r = rel(&[0], &[(&[1], 0.5)]);
+        let s = rel(&[0], &[(&[2], 0.5)]);
+        assert!(join(&r, &s).is_empty());
+    }
+
+    #[test]
+    fn join_many_avoids_cartesian() {
+        // Chain R(x0,x1) ⋈ S(x1,x2) ⋈ T(x2,x3).
+        let r = rel(&[0, 1], &[(&[1, 2], 0.5)]);
+        let s = rel(&[1, 2], &[(&[2, 3], 0.5)]);
+        let t = rel(&[2, 3], &[(&[3, 4], 0.5)]);
+        let j = join_many(vec![r, t, s]);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.vars.len(), 4);
+        let row = j.rows.values().next().unwrap();
+        assert!((row - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_prob_independent_or() {
+        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.5), (&[2, 12], 0.3)]);
+        let p = project_prob(&r, &[v(0)]);
+        assert_eq!(p.len(), 2);
+        let k1: Box<[Value]> = [Value::Int(1)].into();
+        let k2: Box<[Value]> = [Value::Int(2)].into();
+        assert!((p.rows[&k1] - 0.75).abs() < 1e-12);
+        assert!((p.rows[&k2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_to_empty_vars_gives_boolean_score() {
+        let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.5)]);
+        let p = project_prob(&r, &[]);
+        assert_eq!(p.len(), 1);
+        let k: Box<[Value]> = Box::new([]);
+        assert!((p.rows[&k] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_det_dedups() {
+        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.9)]);
+        let p = project_det(&r, &[v(0)]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(*p.rows.values().next().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn min_combine_takes_pointwise_min() {
+        let a = rel(&[0], &[(&[1], 0.8), (&[2], 0.3)]);
+        let b = rel(&[0], &[(&[1], 0.5), (&[2], 0.7)]);
+        let m = min_combine(&[a, b]);
+        let k1: Box<[Value]> = [Value::Int(1)].into();
+        let k2: Box<[Value]> = [Value::Int(2)].into();
+        assert!((m.rows[&k1] - 0.5).abs() < 1e-12);
+        assert!((m.rows[&k2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_combine_aligns_columns() {
+        let a = rel(&[0, 1], &[(&[1, 10], 0.8)]);
+        // Same rows, but with columns swapped.
+        let mut b = Rel::empty(vec![v(1), v(0)]);
+        let k: Box<[Value]> = [Value::Int(10), Value::Int(1)].into();
+        b.rows.insert(k, 0.2);
+        let m = min_combine(&[a, b]);
+        let k: Box<[Value]> = [Value::Int(1), Value::Int(10)].into();
+        assert!((m.rows[&k] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_max_keeps_best_per_group() {
+        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.8), (&[2, 12], 0.3)]);
+        let p = project_max(&r, &[v(0)]);
+        assert_eq!(p.len(), 2);
+        let k1: Box<[Value]> = [Value::Int(1)].into();
+        let k2: Box<[Value]> = [Value::Int(2)].into();
+        assert!((p.rows[&k1] - 0.8).abs() < 1e-12);
+        assert!((p.rows[&k2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_max_lower_bounds_project_prob() {
+        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.8)]);
+        let lo = project_max(&r, &[v(0)]);
+        let hi = project_prob(&r, &[v(0)]);
+        let k: Box<[Value]> = [Value::Int(1)].into();
+        assert!(lo.rows[&k] <= hi.rows[&k]);
+    }
+
+    #[test]
+    fn insert_max_keeps_strongest() {
+        let mut r = Rel::empty(vec![v(0)]);
+        let k: Box<[Value]> = [Value::Int(1)].into();
+        r.insert_max(k.clone(), 0.3);
+        r.insert_max(k.clone(), 0.6);
+        r.insert_max(k.clone(), 0.1);
+        assert!((r.rows[&k] - 0.6).abs() < 1e-12);
+    }
+}

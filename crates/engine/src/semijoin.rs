@@ -1,0 +1,274 @@
+//! Optimization 3: deterministic semi-join reduction (Section 4.3).
+//!
+//! Before probabilistic evaluation, reduce every base relation to the tuples
+//! that can possibly contribute to an answer: apply the query's constant and
+//! predicate selections, then run semi-join passes between atoms sharing
+//! variables until a fixpoint. The expensive probabilistic group-bys then
+//! run on (often much) smaller inputs. For acyclic queries this is a full
+//! reducer (Yannakakis); for cyclic queries it is still a sound filter.
+
+use lapush_query::{Atom, Query, Term, Var};
+use lapush_storage::{Database, FxHashMap, FxHashSet, Value};
+
+/// Reduce the database for the given query. Returns a new database holding,
+/// for every relation mentioned by the query, only the tuples that survive
+/// selection and semi-join reduction. Relations not mentioned by the query
+/// are copied unchanged.
+pub fn reduce_database(db: &Database, q: &Query) -> Database {
+    // Per atom: surviving row indices.
+    let mut survivors: Vec<Vec<u32>> = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        survivors.push(initial_survivors(db, q, atom));
+    }
+
+    // Semi-join passes until fixpoint.
+    loop {
+        let mut changed = false;
+        for i in 0..q.atoms().len() {
+            for j in 0..q.atoms().len() {
+                if i == j {
+                    continue;
+                }
+                let shared = shared_vars(&q.atoms()[i], &q.atoms()[j]);
+                if shared.is_empty() {
+                    continue;
+                }
+                changed |= semijoin_pass(db, q, i, j, &shared, &mut survivors);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced database.
+    let mut out = Database::new();
+    for (_, rel) in db.relations() {
+        let atom_idx = q
+            .atoms()
+            .iter()
+            .position(|a| a.relation == rel.name());
+        let mut new_rel = if rel.is_deterministic() {
+            lapush_storage::Relation::deterministic(rel.name(), rel.arity())
+        } else {
+            lapush_storage::Relation::new(rel.name(), rel.arity())
+        };
+        for fd in rel.fds() {
+            new_rel
+                .add_fd(fd.clone())
+                .expect("FD valid on original relation");
+        }
+        match atom_idx {
+            Some(i) => {
+                for &row in &survivors[i] {
+                    new_rel
+                        .push(rel.row(row).to_vec().into_boxed_slice(), rel.prob(row))
+                        .expect("row valid on original relation");
+                }
+            }
+            None => {
+                for (_, row, p) in rel.iter() {
+                    new_rel
+                        .push(row.to_vec().into_boxed_slice(), p)
+                        .expect("row valid on original relation");
+                }
+            }
+        }
+        out.add_relation(new_rel).expect("names unique in source db");
+    }
+    out
+}
+
+/// Rows of the atom's relation passing constant/equality/predicate filters.
+fn initial_survivors(db: &Database, q: &Query, atom: &Atom) -> Vec<u32> {
+    let Ok(rel) = db.relation_by_name(&atom.relation) else {
+        return Vec::new();
+    };
+    if rel.arity() != atom.terms.len() {
+        return Vec::new();
+    }
+    let mut var_first: FxHashMap<Var, usize> = FxHashMap::default();
+    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
+    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
+    for (c, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => const_filters.push((c, v)),
+            Term::Var(v) => {
+                if let Some(&first) = var_first.get(v) {
+                    eq_filters.push((first, c));
+                } else {
+                    var_first.insert(*v, c);
+                }
+            }
+        }
+    }
+    let preds: Vec<(usize, &lapush_query::Predicate)> = q
+        .predicates()
+        .iter()
+        .filter_map(|p| var_first.get(&p.var).map(|&c| (c, p)))
+        .collect();
+
+    let mut out = Vec::new();
+    'rows: for (i, row, _) in rel.iter() {
+        for &(c, v) in &const_filters {
+            if &row[c] != v {
+                continue 'rows;
+            }
+        }
+        for &(c1, c2) in &eq_filters {
+            if row[c1] != row[c2] {
+                continue 'rows;
+            }
+        }
+        for &(c, p) in &preds {
+            if !p.op.eval(&row[c], &p.value) {
+                continue 'rows;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// Shared variables between two atoms, as (column in a, column in b) pairs
+/// over first occurrences.
+fn shared_vars(a: &Atom, b: &Atom) -> Vec<(usize, usize)> {
+    let first_cols = |atom: &Atom| {
+        let mut m: Vec<(Var, usize)> = Vec::new();
+        for (c, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                if !m.iter().any(|(u, _)| u == v) {
+                    m.push((*v, c));
+                }
+            }
+        }
+        m
+    };
+    let ca = first_cols(a);
+    let cb = first_cols(b);
+    ca.iter()
+        .filter_map(|&(v, c1)| cb.iter().find(|&&(u, _)| u == v).map(|&(_, c2)| (c1, c2)))
+        .collect()
+}
+
+/// One semi-join pass: keep rows of atom `i` whose shared-variable values
+/// appear in atom `j`'s surviving rows. Returns true if `i` shrank.
+fn semijoin_pass(
+    db: &Database,
+    q: &Query,
+    i: usize,
+    j: usize,
+    shared: &[(usize, usize)],
+    survivors: &mut [Vec<u32>],
+) -> bool {
+    let rel_i = db
+        .relation_by_name(&q.atoms()[i].relation)
+        .expect("checked in initial_survivors");
+    let rel_j = db
+        .relation_by_name(&q.atoms()[j].relation)
+        .expect("checked in initial_survivors");
+
+    let keys_j: FxHashSet<Box<[Value]>> = survivors[j]
+        .iter()
+        .map(|&r| {
+            shared
+                .iter()
+                .map(|&(_, c2)| rel_j.row(r)[c2].clone())
+                .collect()
+        })
+        .collect();
+
+    let before = survivors[i].len();
+    survivors[i].retain(|&r| {
+        let key: Box<[Value]> = shared
+            .iter()
+            .map(|&(c1, _)| rel_i.row(r)[c1].clone())
+            .collect();
+        keys_j.contains(&key)
+    });
+    survivors[i].len() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_core::minimal_plans;
+    use lapush_query::{parse_query, QueryShape};
+    use lapush_storage::tuple::tuple;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 2).unwrap();
+        let s = db.create_relation("S", 2).unwrap();
+        let t = db.create_relation("T", 2).unwrap();
+        // R rows; only (1,10) continues through S and T.
+        db.relation_mut(r).push(tuple([1, 10]), 0.5).unwrap();
+        db.relation_mut(r).push(tuple([2, 99]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([10, 100]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([11, 100]), 0.5).unwrap();
+        db.relation_mut(t).push(tuple([100, 7]), 0.5).unwrap();
+        db.relation_mut(t).push(tuple([200, 8]), 0.5).unwrap();
+        db
+    }
+
+    #[test]
+    fn reduction_removes_dangling_tuples() {
+        let db = chain_db();
+        let q = parse_query("q(a, d) :- R(a, b), S(b, c), T(c, d)").unwrap();
+        let red = reduce_database(&db, &q);
+        assert_eq!(red.relation_by_name("R").unwrap().len(), 1);
+        assert_eq!(red.relation_by_name("S").unwrap().len(), 1);
+        assert_eq!(red.relation_by_name("T").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reduction_preserves_scores() {
+        let db = chain_db();
+        let q = parse_query("q(a, d) :- R(a, b), S(b, c), T(c, d)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let full = crate::exec::propagation_score(&db, &q, &plans, Default::default()).unwrap();
+        let red = reduce_database(&db, &q);
+        let reduced =
+            crate::exec::propagation_score(&red, &q, &plans, Default::default()).unwrap();
+        assert_eq!(full.len(), reduced.len());
+        for (k, &v) in &full.rows {
+            assert!((reduced.score_of(k) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduction_applies_predicates() {
+        let db = chain_db();
+        let q = parse_query("q(a, d) :- R(a, b), S(b, c), T(c, d), a <= 0").unwrap();
+        let red = reduce_database(&db, &q);
+        assert_eq!(red.relation_by_name("R").unwrap().len(), 0);
+        // Semi-joins propagate the emptiness.
+        assert_eq!(red.relation_by_name("S").unwrap().len(), 0);
+        assert_eq!(red.relation_by_name("T").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unrelated_relations_copied() {
+        let mut db = chain_db();
+        let z = db.create_relation("Z", 1).unwrap();
+        db.relation_mut(z).push(tuple([42]), 0.25).unwrap();
+        let q = parse_query("q(a, d) :- R(a, b), S(b, c), T(c, d)").unwrap();
+        let red = reduce_database(&db, &q);
+        assert_eq!(red.relation_by_name("Z").unwrap().len(), 1);
+        assert_eq!(red.relation_by_name("Z").unwrap().prob(0), 0.25);
+    }
+
+    #[test]
+    fn deterministic_flag_preserved() {
+        let mut db = Database::new();
+        let r = db.create_deterministic("R", 1).unwrap();
+        db.relation_mut(r).push_certain(tuple([1])).unwrap();
+        let s = db.create_relation("S", 1).unwrap();
+        db.relation_mut(s).push(tuple([1]), 0.5).unwrap();
+        let q = parse_query("q :- R(x), S(x)").unwrap();
+        let red = reduce_database(&db, &q);
+        assert!(red.relation_by_name("R").unwrap().is_deterministic());
+        assert!(!red.relation_by_name("S").unwrap().is_deterministic());
+    }
+}

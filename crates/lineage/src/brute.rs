@@ -1,0 +1,70 @@
+//! Brute-force probability by enumerating all assignments. Test oracle.
+
+use crate::formula::Dnf;
+
+/// Exact probability by enumerating all `2^n` assignments over the
+/// variables occurring in the formula. Panics above 25 variables.
+pub fn brute_force_prob(dnf: &Dnf, probs: &[f64]) -> f64 {
+    if dnf.is_false() {
+        return 0.0;
+    }
+    if dnf.is_true() {
+        return 1.0;
+    }
+    let vars = dnf.vars();
+    assert!(
+        vars.len() <= 25,
+        "brute force limited to 25 variables, got {}",
+        vars.len()
+    );
+    let n = vars.len();
+    let mut total = 0.0;
+    for mask in 0u64..(1u64 << n) {
+        let truth = |v: u32| {
+            let idx = vars.binary_search(&v).expect("var in formula");
+            mask & (1 << idx) != 0
+        };
+        if dnf.eval(truth) {
+            let mut w = 1.0;
+            for (idx, &v) in vars.iter().enumerate() {
+                let p = probs[v as usize];
+                w *= if mask & (1 << idx) != 0 { p } else { 1.0 - p };
+            }
+            total += w;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_var() {
+        let f = Dnf::new([vec![0]]);
+        assert!((brute_force_prob(&f, &[0.3]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xy_or_xz() {
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        assert!((brute_force_prob(&f, &[0.5, 0.5, 0.5]) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(brute_force_prob(&Dnf::empty(), &[]), 0.0);
+        assert_eq!(brute_force_prob(&Dnf::new([Vec::<u32>::new()]), &[]), 1.0);
+    }
+
+    #[test]
+    fn sparse_variable_ids() {
+        // Vars 5 and 9 only; probs table indexed by id.
+        let mut probs = vec![0.0; 10];
+        probs[5] = 0.5;
+        probs[9] = 0.5;
+        let f = Dnf::new([vec![5], vec![9]]);
+        assert!((brute_force_prob(&f, &probs) - 0.75).abs() < 1e-12);
+    }
+}

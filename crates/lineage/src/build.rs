@@ -1,0 +1,386 @@
+//! Lineage construction: the provenance-tracking deterministic join.
+
+use crate::formula::Dnf;
+use lapush_query::{Atom, Query, Term, Var};
+use lapush_storage::{Database, FxHashMap, TupleId, Value};
+use std::fmt;
+
+/// Lineage of one answer tuple.
+#[derive(Debug, Clone)]
+pub struct AnswerLineage {
+    /// The answer (head variables in head order).
+    pub key: Box<[Value]>,
+    /// Monotone DNF over formula variables (see [`Lineage::var_tuples`]).
+    pub dnf: Dnf,
+}
+
+/// Lineage of all answers of a query: a shared variable table plus one DNF
+/// per answer. `P(answer) = P(dnf)` under `var_probs`.
+#[derive(Debug, Clone)]
+pub struct Lineage {
+    /// Probability per formula variable.
+    pub var_probs: Vec<f64>,
+    /// Base tuple per formula variable.
+    pub var_tuples: Vec<TupleId>,
+    /// Per-answer lineages, sorted by answer key.
+    pub answers: Vec<AnswerLineage>,
+}
+
+impl Lineage {
+    /// Lineage of one answer by key.
+    pub fn answer(&self, key: &[Value]) -> Option<&AnswerLineage> {
+        self.answers
+            .binary_search_by(|a| a.key.as_ref().cmp(key))
+            .ok()
+            .map(|i| &self.answers[i])
+    }
+
+    /// The Boolean query's lineage (the single empty-key answer), or an
+    /// empty (false) DNF.
+    pub fn boolean_dnf(&self) -> Dnf {
+        self.answer(&[]).map(|a| a.dnf.clone()).unwrap_or_default()
+    }
+
+    /// Maximum lineage size across answers (the paper's `max[lin]`).
+    pub fn max_size(&self) -> usize {
+        self.answers.iter().map(|a| a.dnf.len()).max().unwrap_or(0)
+    }
+
+    /// Total number of implicants across answers.
+    pub fn total_size(&self) -> usize {
+        self.answers.iter().map(|a| a.dnf.len()).sum()
+    }
+}
+
+/// Errors raised during lineage construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineageError {
+    /// Atom references a missing relation.
+    UnknownRelation(String),
+    /// Atom/relation arity mismatch.
+    AtomArity(String),
+}
+
+impl fmt::Display for LineageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            LineageError::AtomArity(r) => write!(f, "arity mismatch on `{r}`"),
+        }
+    }
+}
+
+impl std::error::Error for LineageError {}
+
+/// Intermediate provenance relation: bindings plus contributing formula
+/// variables (not deduplicated — every join path is one implicant).
+struct ProvRel {
+    vars: Vec<Var>,
+    rows: Vec<(Box<[Value]>, Vec<u32>)>,
+}
+
+/// Build the lineage of every answer of `q` on `db` (paper Section 2:
+/// `F_{q,D} = ∨_θ θ(g₁) ∧ … ∧ θ(g_m)`).
+pub fn build_lineage(db: &Database, q: &Query) -> Result<Lineage, LineageError> {
+    let mut var_probs: Vec<f64> = Vec::new();
+    let mut var_tuples: Vec<TupleId> = Vec::new();
+    let mut tuple_to_var: FxHashMap<TupleId, u32> = FxHashMap::default();
+
+    // Scan every atom with provenance.
+    let mut scans: Vec<ProvRel> = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        scans.push(scan_atom(
+            db,
+            q,
+            atom,
+            &mut var_probs,
+            &mut var_tuples,
+            &mut tuple_to_var,
+        )?);
+    }
+
+    // Greedy connected join order.
+    let mut acc = {
+        let start = scans
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.rows.len())
+            .map(|(i, _)| i)
+            .expect("query has atoms");
+        scans.swap_remove(start)
+    };
+    while !scans.is_empty() {
+        let next = scans
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.vars.iter().any(|v| acc.vars.contains(v)))
+            .min_by_key(|(_, r)| r.rows.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let rel = scans.swap_remove(next);
+        acc = prov_join(&acc, &rel);
+    }
+
+    // Group by head variables.
+    let head_cols: Vec<usize> = q
+        .head()
+        .iter()
+        .map(|v| {
+            acc.vars
+                .iter()
+                .position(|u| u == v)
+                .expect("head var bound in body")
+        })
+        .collect();
+    let mut grouped: FxHashMap<Box<[Value]>, Vec<Vec<u32>>> = FxHashMap::default();
+    for (key, prov) in acc.rows {
+        let akey: Box<[Value]> = head_cols.iter().map(|&c| key[c].clone()).collect();
+        grouped.entry(akey).or_default().push(prov);
+    }
+    let mut answers: Vec<AnswerLineage> = grouped
+        .into_iter()
+        .map(|(key, imps)| AnswerLineage {
+            key,
+            dnf: Dnf::new(imps),
+        })
+        .collect();
+    answers.sort_by(|a, b| a.key.cmp(&b.key));
+
+    Ok(Lineage {
+        var_probs,
+        var_tuples,
+        answers,
+    })
+}
+
+fn scan_atom(
+    db: &Database,
+    q: &Query,
+    atom: &Atom,
+    var_probs: &mut Vec<f64>,
+    var_tuples: &mut Vec<TupleId>,
+    tuple_to_var: &mut FxHashMap<TupleId, u32>,
+) -> Result<ProvRel, LineageError> {
+    let rel_id = db
+        .rel_id(&atom.relation)
+        .map_err(|_| LineageError::UnknownRelation(atom.relation.clone()))?;
+    let rel = db.relation(rel_id);
+    if rel.arity() != atom.terms.len() {
+        return Err(LineageError::AtomArity(atom.relation.clone()));
+    }
+
+    let mut out_vars: Vec<Var> = Vec::new();
+    let mut out_cols: Vec<usize> = Vec::new();
+    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
+    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
+    for (c, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => const_filters.push((c, v)),
+            Term::Var(v) => match out_vars.iter().position(|u| u == v) {
+                Some(first) => eq_filters.push((out_cols[first], c)),
+                None => {
+                    out_vars.push(*v);
+                    out_cols.push(c);
+                }
+            },
+        }
+    }
+    let preds: Vec<(usize, &lapush_query::Predicate)> = q
+        .predicates()
+        .iter()
+        .filter_map(|p| {
+            out_vars
+                .iter()
+                .position(|&v| v == p.var)
+                .map(|i| (out_cols[i], p))
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    'rows: for (i, row, prob) in rel.iter() {
+        for &(c, v) in &const_filters {
+            if &row[c] != v {
+                continue 'rows;
+            }
+        }
+        for &(c1, c2) in &eq_filters {
+            if row[c1] != row[c2] {
+                continue 'rows;
+            }
+        }
+        for &(c, p) in &preds {
+            if !p.op.eval(&row[c], &p.value) {
+                continue 'rows;
+            }
+        }
+        let tid = TupleId::new(rel_id, i);
+        let fv = *tuple_to_var.entry(tid).or_insert_with(|| {
+            let v = var_probs.len() as u32;
+            var_probs.push(prob);
+            var_tuples.push(tid);
+            v
+        });
+        let key: Box<[Value]> = out_cols.iter().map(|&c| row[c].clone()).collect();
+        rows.push((key, vec![fv]));
+    }
+    Ok(ProvRel {
+        vars: out_vars,
+        rows,
+    })
+}
+
+fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(li, v)| {
+            right
+                .vars
+                .iter()
+                .position(|u| u == v)
+                .map(|ri| (li, ri))
+        })
+        .collect();
+    let right_only: Vec<usize> = (0..right.vars.len())
+        .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
+        .collect();
+
+    let mut out_vars = left.vars.clone();
+    out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
+
+    let mut index: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
+    for (i, (rkey, _)) in right.rows.iter().enumerate() {
+        let jk: Box<[Value]> = shared.iter().map(|&(_, ri)| rkey[ri].clone()).collect();
+        index.entry(jk).or_default().push(i);
+    }
+
+    let mut rows = Vec::new();
+    for (lkey, lprov) in &left.rows {
+        let jk: Box<[Value]> = shared.iter().map(|&(li, _)| lkey[li].clone()).collect();
+        let Some(matches) = index.get(&jk) else {
+            continue;
+        };
+        for &ri in matches {
+            let (rkey, rprov) = &right.rows[ri];
+            let mut key: Vec<Value> = lkey.to_vec();
+            key.extend(right_only.iter().map(|&c| rkey[c].clone()));
+            let mut prov = lprov.clone();
+            prov.extend_from_slice(rprov);
+            rows.push((key.into_boxed_slice(), prov));
+        }
+    }
+    ProvRel {
+        vars: out_vars,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_prob;
+    use lapush_query::parse_query;
+    use lapush_storage::tuple::tuple;
+
+    fn example7_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 2).unwrap();
+        db.relation_mut(r).push(tuple([1]), 0.5).unwrap();
+        db.relation_mut(r).push(tuple([2]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([1, 4]), 0.5).unwrap();
+        db.relation_mut(s).push(tuple([1, 5]), 0.5).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_7_lineage() {
+        // F = R(1)S(1,4) ∨ R(1)S(1,5); P = 0.375.
+        let db = example7_db();
+        let q = parse_query("q :- R(x), S(x, y)").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        let f = lin.boolean_dnf();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.num_vars(), 3); // R(1) shared, S(1,4), S(1,5)
+        assert!((exact_prob(&f, &lin.var_probs) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_answer_lineage() {
+        let db = example7_db();
+        let q = parse_query("q(y) :- R(x), S(x, y)").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        assert_eq!(lin.answers.len(), 2);
+        for a in &lin.answers {
+            assert_eq!(a.dnf.len(), 1);
+            assert!((exact_prob(&a.dnf, &lin.var_probs) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(lin.max_size(), 1);
+        assert_eq!(lin.total_size(), 2);
+    }
+
+    #[test]
+    fn example_17_lineage_probability() {
+        // Ground truth from the paper: P(q) = 83/512.
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 1).unwrap();
+        let t = db.create_relation("T", 2).unwrap();
+        let u = db.create_relation("U", 1).unwrap();
+        for x in [1, 2] {
+            db.relation_mut(r).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(s).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(u).push(tuple([x]), 0.5).unwrap();
+        }
+        for (x, y) in [(1, 1), (1, 2), (2, 2)] {
+            db.relation_mut(t).push(tuple([x, y]), 0.5).unwrap();
+        }
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        let f = lin.boolean_dnf();
+        assert_eq!(f.len(), 3);
+        assert!((exact_prob(&f, &lin.var_probs) - 83.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_answer_set() {
+        let mut db = Database::new();
+        db.create_relation("R", 1).unwrap();
+        db.create_relation("S", 2).unwrap();
+        let q = parse_query("q :- R(x), S(x, y)").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        assert!(lin.answers.is_empty());
+        assert!(lin.boolean_dnf().is_false());
+    }
+
+    #[test]
+    fn predicates_restrict_lineage() {
+        let db = example7_db();
+        let q = parse_query("q :- R(x), S(x, y), y <= 4").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        assert_eq!(lin.boolean_dnf().len(), 1);
+    }
+
+    #[test]
+    fn shared_tuple_gets_one_variable() {
+        let db = example7_db();
+        let q = parse_query("q :- R(x), S(x, y)").unwrap();
+        let lin = build_lineage(&db, &q).unwrap();
+        // R(1) occurs in both implicants but is a single formula variable;
+        // R(2) is scanned (and registered) but joins nothing.
+        assert_eq!(lin.var_probs.len(), 4);
+        assert_eq!(lin.var_tuples.len(), 4);
+        assert_eq!(lin.boolean_dnf().num_vars(), 3);
+    }
+
+    #[test]
+    fn unknown_relation() {
+        let db = Database::new();
+        let q = parse_query("q :- Nope(x)").unwrap();
+        assert!(matches!(
+            build_lineage(&db, &q),
+            Err(LineageError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,121 @@
+//! Formula-level dissociation (Theorem 8: oblivious DNF bounds).
+//!
+//! A dissociation `F′` of `F` replaces occurrences of a variable `X` by
+//! fresh copies `X′, X″, …` with the same probability. If no two copies of
+//! the same variable share a prime implicant, then `P(F) ≤ P(F′)`, with
+//! equality when every dissociated variable is deterministic
+//! (`p ∈ {0, 1}`). Query dissociation (Definition 10) is the special case
+//! where copies are indexed by the added variables' values.
+
+use crate::formula::Dnf;
+
+/// Fully dissociate each selected variable: each *implicant occurrence*
+/// becomes a fresh variable (the maximal dissociation — copies never share
+/// an implicant, so Theorem 8 applies).
+///
+/// Returns the dissociated formula, the extended probability table, and for
+/// each new variable the original it copies (identity for untouched vars).
+pub fn dissociate_unique_occurrences(
+    dnf: &Dnf,
+    probs: &[f64],
+    select: impl Fn(u32) -> bool,
+) -> (Dnf, Vec<f64>, Vec<u32>) {
+    let mut new_probs = probs.to_vec();
+    let mut origin: Vec<u32> = (0..probs.len() as u32).collect();
+    let implicants: Vec<Vec<u32>> = dnf
+        .implicants
+        .iter()
+        .map(|imp| {
+            imp.iter()
+                .map(|&v| {
+                    if select(v) {
+                        let fresh = new_probs.len() as u32;
+                        new_probs.push(probs[v as usize]);
+                        origin.push(v);
+                        fresh
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (Dnf::new(implicants), new_probs, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_prob;
+    use crate::exact::exact_prob;
+
+    #[test]
+    fn example_9_dissociation() {
+        // F = XY ∨ XZ → F′ = X′Y ∨ X″Z:
+        // P(F′) = 1 − (1 − pq)(1 − pr) = pq + pr − p²qr ≥ P(F).
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        let (p, q, r) = (0.5, 0.5, 0.5);
+        let probs = vec![p, q, r];
+        let (f2, probs2, origin) = dissociate_unique_occurrences(&f, &probs, |v| v == 0);
+        assert_eq!(f2.num_vars(), 4);
+        let expect = p * q + p * r - p * p * q * r;
+        let got = exact_prob(&f2, &probs2);
+        assert!((got - expect).abs() < 1e-12);
+        assert!(got >= exact_prob(&f, &probs));
+        // Origins: copies of 0 map back to 0.
+        assert_eq!(origin.len(), probs2.len());
+        assert!(origin[3..].iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn upper_bound_holds_on_crafted_formulas() {
+        let cases = vec![
+            (Dnf::new([vec![0, 1], vec![1, 2], vec![2, 0]]), vec![0.3, 0.6, 0.8]),
+            (
+                Dnf::new([vec![0, 1, 2], vec![2, 3], vec![0, 3]]),
+                vec![0.2, 0.9, 0.5, 0.4],
+            ),
+        ];
+        for (f, probs) in cases {
+            let base = brute_force_prob(&f, &probs);
+            for target in f.vars() {
+                let (f2, p2, _) = dissociate_unique_occurrences(&f, &probs, |v| v == target);
+                let upper = brute_force_prob(&f2, &p2);
+                assert!(
+                    upper >= base - 1e-12,
+                    "dissociating {target}: {upper} < {base}"
+                );
+            }
+            // Dissociating everything still upper-bounds.
+            let (f_all, p_all, _) = dissociate_unique_occurrences(&f, &probs, |_| true);
+            assert!(brute_force_prob(&f_all, &p_all) >= base - 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_vars_preserve_probability() {
+        // Theorem 8(2): p(X) ∈ {0,1} ⇒ equality.
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        for px in [0.0, 1.0] {
+            let probs = vec![px, 0.6, 0.7];
+            let (f2, p2, _) = dissociate_unique_occurrences(&f, &probs, |v| v == 0);
+            let a = brute_force_prob(&f, &probs);
+            let b = brute_force_prob(&f2, &p2);
+            assert!((a - b).abs() < 1e-12, "px={px}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn untouched_vars_keep_ids() {
+        let f = Dnf::new([vec![0, 1], vec![1, 2]]);
+        let probs = vec![0.1, 0.2, 0.3];
+        let (f2, _, origin) = dissociate_unique_occurrences(&f, &probs, |v| v == 1);
+        // Vars 0 and 2 still appear under their original ids.
+        let vars = f2.vars();
+        assert!(vars.contains(&0));
+        assert!(vars.contains(&2));
+        assert!(!vars.contains(&1)); // both occurrences replaced
+        assert_eq!(origin[0], 0);
+        assert_eq!(origin[2], 2);
+    }
+}

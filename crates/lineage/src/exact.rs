@@ -1,0 +1,326 @@
+//! Exact probability of monotone DNFs by decomposition + Shannon expansion.
+//!
+//! This is the repository's ground-truth oracle, standing in for the
+//! paper's use of SampleSearch: both are exact model counters whose running
+//! time grows exponentially with the connectivity (treewidth) of the
+//! formula. The algorithm:
+//!
+//! 1. trivial cases (`false`, `true`, single implicant);
+//! 2. **independent-OR**: split into variable-disjoint components
+//!    `F = F₁ ∨ … ∨ F_k` ⇒ `P(F) = 1 − ∏(1 − P(Fᵢ))`;
+//! 3. **factoring**: a variable in every implicant factors out,
+//!    `F = X ∧ F′` ⇒ `P = p(X)·P(F′)`;
+//! 4. otherwise **Shannon expansion** on the most frequent variable with
+//!    memoization on the canonical sub-formula.
+//!
+//! A formula solved without ever reaching step 4 is *read-once*; the
+//! algorithm doubles as a read-once detector (cf. the paper's related work
+//! on read-once lineage [46, 50]).
+
+use crate::formula::Dnf;
+use lapush_storage::FxHashMap;
+
+/// Statistics from one exact computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactStats {
+    /// Number of Shannon expansions performed (0 ⇔ read-once evaluation).
+    pub shannon_splits: usize,
+    /// Number of cache hits.
+    pub cache_hits: usize,
+    /// Number of recursive calls.
+    pub calls: usize,
+}
+
+/// Exact probability of a monotone DNF under independent variables with
+/// probabilities `probs[v]`.
+pub fn exact_prob(dnf: &Dnf, probs: &[f64]) -> f64 {
+    let mut ctx = Ctx {
+        probs,
+        memo: FxHashMap::default(),
+        stats: ExactStats::default(),
+        budget: u64::MAX,
+    };
+    ctx.prob(dnf.clone()).expect("unbounded budget")
+}
+
+/// Exact probability plus evaluation statistics.
+pub fn exact_prob_with_stats(dnf: &Dnf, probs: &[f64]) -> (f64, ExactStats) {
+    let mut ctx = Ctx {
+        probs,
+        memo: FxHashMap::default(),
+        stats: ExactStats::default(),
+        budget: u64::MAX,
+    };
+    let p = ctx.prob(dnf.clone()).expect("unbounded budget");
+    (p, ctx.stats)
+}
+
+/// Budgeted exact probability: gives up (returns `None`) once the number of
+/// recursive calls exceeds `max_calls`. Exact inference is exponential in
+/// lineage connectivity; the paper likewise skips ground truth when
+/// SampleSearch becomes infeasible. The budget makes that cut-off explicit
+/// and deterministic.
+pub fn exact_prob_bounded(dnf: &Dnf, probs: &[f64], max_calls: u64) -> Option<f64> {
+    let mut ctx = Ctx {
+        probs,
+        memo: FxHashMap::default(),
+        stats: ExactStats::default(),
+        budget: max_calls,
+    };
+    ctx.prob(dnf.clone())
+}
+
+/// Is the formula read-once evaluable by this decomposition (no Shannon
+/// split needed)? Such formulas are solved in polynomial time.
+pub fn is_read_once(dnf: &Dnf, probs: &[f64]) -> bool {
+    exact_prob_with_stats(dnf, probs).1.shannon_splits == 0
+}
+
+struct Ctx<'a> {
+    probs: &'a [f64],
+    memo: FxHashMap<Dnf, f64>,
+    stats: ExactStats,
+    budget: u64,
+}
+
+impl Ctx<'_> {
+    fn prob(&mut self, f: Dnf) -> Option<f64> {
+        self.stats.calls += 1;
+        if self.stats.calls as u64 > self.budget {
+            return None;
+        }
+        if f.is_false() {
+            return Some(0.0);
+        }
+        if f.is_true() {
+            return Some(1.0);
+        }
+        if f.len() == 1 {
+            return Some(
+                f.implicants[0]
+                    .iter()
+                    .map(|&v| self.probs[v as usize])
+                    .product(),
+            );
+        }
+        if let Some(&p) = self.memo.get(&f) {
+            self.stats.cache_hits += 1;
+            return Some(p);
+        }
+
+        let p = self.decompose(&f)?;
+        self.memo.insert(f, p);
+        Some(p)
+    }
+
+    fn decompose(&mut self, f: &Dnf) -> Option<f64> {
+        // Step 2: independent components (union-find over implicants).
+        let comps = components(f);
+        if comps.len() > 1 {
+            let mut not_any = 1.0;
+            for comp in comps {
+                let sub = Dnf::new(
+                    comp.iter()
+                        .map(|&i| f.implicants[i].to_vec())
+                        .collect::<Vec<_>>(),
+                );
+                not_any *= 1.0 - self.prob(sub)?;
+            }
+            return Some(1.0 - not_any);
+        }
+
+        // Step 3: factor out variables present in every implicant.
+        let occ = f.occurrences();
+        let m = f.len();
+        let common: Vec<u32> = occ
+            .iter()
+            .filter(|&(_, &c)| c == m)
+            .map(|(&v, _)| v)
+            .collect();
+        if !common.is_empty() {
+            let mut rest = f.clone();
+            let mut factor = 1.0;
+            for v in common {
+                factor *= self.probs[v as usize];
+                rest = rest.assume_true(v);
+            }
+            return Some(factor * self.prob(rest)?);
+        }
+
+        // Step 4: Shannon expansion on the most frequent variable.
+        self.stats.shannon_splits += 1;
+        let (&pivot, _) = occ
+            .iter()
+            .max_by_key(|&(&v, &c)| (c, std::cmp::Reverse(v)))
+            .expect("non-empty formula");
+        let p = self.probs[pivot as usize];
+        let hi = self.prob(f.assume_true(pivot))?;
+        let lo = self.prob(f.assume_false(pivot))?;
+        Some(p * hi + (1.0 - p) * lo)
+    }
+}
+
+/// Variable-disjoint components of the implicant set (indices into
+/// `f.implicants`).
+fn components(f: &Dnf) -> Vec<Vec<usize>> {
+    let n = f.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let nxt = parent[cur];
+            parent[cur] = root;
+            cur = nxt;
+        }
+        root
+    }
+    // Map each variable to the first implicant seen; union subsequent ones.
+    let mut first_of_var: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, imp) in f.implicants.iter().enumerate() {
+        for &v in imp.iter() {
+            match first_of_var.entry(v) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (a, b) = (find(&mut parent, *e.get()), find(&mut parent, i));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_prob;
+
+    #[test]
+    fn example_7_probability() {
+        // F = XY ∨ XZ with p = q = r = 0.5: P = pq + pr − pqr = 0.375.
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        let probs = vec![0.5, 0.5, 0.5];
+        assert!((exact_prob(&f, &probs) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_9_general_probs() {
+        // P(F) = p(q + r − qr).
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        let (p, q, r) = (0.3, 0.7, 0.2);
+        let expect = p * (q + r - q * r);
+        assert!((exact_prob(&f, &[p, q, r]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_and_single_implicant() {
+        assert_eq!(exact_prob(&Dnf::empty(), &[]), 0.0);
+        assert_eq!(exact_prob(&Dnf::new([Vec::<u32>::new()]), &[]), 1.0);
+        let f = Dnf::new([vec![0, 1]]);
+        assert!((exact_prob(&f, &[0.5, 0.4]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_or_components() {
+        // XY ∨ ZW: 1 − (1−pq)(1−rs).
+        let f = Dnf::new([vec![0, 1], vec![2, 3]]);
+        let probs = [0.5, 0.5, 0.5, 0.5];
+        let expect = 1.0 - (1.0 - 0.25f64) * (1.0 - 0.25);
+        assert!((exact_prob(&f, &probs) - expect).abs() < 1e-12);
+        assert!(is_read_once(&f, &probs));
+    }
+
+    #[test]
+    fn hard_formula_needs_shannon() {
+        // F = XY ∨ YZ ∨ ZW: not read-once (P4 co-occurrence).
+        let f = Dnf::new([vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let probs = [0.5; 4];
+        assert!(!is_read_once(&f, &probs));
+        let bf = brute_force_prob(&f, &probs);
+        assert!((exact_prob(&f, &probs) - bf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_17_boolean_formula() {
+        // Lineage of Example 17: 83/512 (verified by inclusion-exclusion in
+        // the paper).
+        // Vars: R1=0,S1=1,T11=2,U1=3,T12=4,U2=5,R2=6,S2=7,T22=8.
+        let f = Dnf::new([
+            vec![0, 1, 2, 3],
+            vec![0, 1, 4, 5],
+            vec![6, 7, 8, 5],
+        ]);
+        let probs = [0.5; 9];
+        assert!((exact_prob(&f, &probs) - 83.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_crafted_formulas() {
+        let cases: Vec<(Dnf, Vec<f64>)> = vec![
+            (Dnf::new([vec![0], vec![1], vec![2]]), vec![0.1, 0.5, 0.9]),
+            (
+                Dnf::new([vec![0, 1], vec![1, 2], vec![0, 2]]),
+                vec![0.3, 0.6, 0.8],
+            ),
+            (
+                Dnf::new([vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]]),
+                vec![0.2, 0.4, 0.6, 0.8, 0.5, 0.3],
+            ),
+            (
+                // Two components plus factoring inside one of them.
+                Dnf::new([vec![0, 1], vec![0, 2], vec![3, 4]]),
+                vec![0.5, 0.25, 0.75, 0.1, 0.9],
+            ),
+        ];
+        for (f, probs) in cases {
+            let bf = brute_force_prob(&f, &probs);
+            let ex = exact_prob(&f, &probs);
+            assert!((bf - ex).abs() < 1e-10, "{f:?}: {ex} vs {bf}");
+        }
+    }
+
+    #[test]
+    fn stats_report_read_once() {
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]); // X(Y∨Z): read-once
+        let (_, stats) = exact_prob_with_stats(&f, &[0.5; 3]);
+        assert_eq!(stats.shannon_splits, 0);
+        assert!(stats.calls >= 1);
+    }
+
+    #[test]
+    fn bounded_budget_gives_up_gracefully() {
+        // A grid-shaped formula needs many Shannon splits.
+        let n = 14usize;
+        let dnf = Dnf::new((0..n - 1).map(|i| vec![i as u32, i as u32 + 1]));
+        let probs = vec![0.5; n];
+        // Tiny budget: must return None, not hang or panic.
+        assert_eq!(exact_prob_bounded(&dnf, &probs, 5), None);
+        // Generous budget: agrees with the unbounded result.
+        let full = exact_prob(&dnf, &probs);
+        let bounded = exact_prob_bounded(&dnf, &probs, 10_000_000).unwrap();
+        assert!((full - bounded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_variables_shortcut() {
+        // With p(X)=1, F = XY ∨ XZ behaves like Y ∨ Z.
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        let p = exact_prob(&f, &[1.0, 0.5, 0.5]);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Monotone DNF formulas over integer literals.
+
+use lapush_storage::FxHashMap;
+
+/// A monotone DNF: a disjunction of implicants, each a conjunction of
+/// positive literals (variable indices into an external probability table).
+///
+/// Canonical form (established by [`Dnf::simplify`]): literals within an
+/// implicant sorted and distinct; implicants sorted; no implicant subsumes
+/// another (absorption applied).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dnf {
+    /// The implicants.
+    pub implicants: Vec<Box<[u32]>>,
+}
+
+impl Dnf {
+    /// The unsatisfiable empty disjunction (`false`).
+    pub fn empty() -> Self {
+        Dnf::default()
+    }
+
+    /// Build from raw implicants (each a list of variable indices).
+    pub fn new<I, J>(implicants: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = u32>,
+    {
+        let mut dnf = Dnf {
+            implicants: implicants
+                .into_iter()
+                .map(|imp| {
+                    let mut v: Vec<u32> = imp.into_iter().collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v.into_boxed_slice()
+                })
+                .collect(),
+        };
+        dnf.simplify();
+        dnf
+    }
+
+    /// `true` iff the formula is the constant `false` (no implicants).
+    pub fn is_false(&self) -> bool {
+        self.implicants.is_empty()
+    }
+
+    /// `true` iff the formula is the constant `true` (contains the empty
+    /// implicant).
+    pub fn is_true(&self) -> bool {
+        self.implicants.iter().any(|i| i.is_empty())
+    }
+
+    /// Number of implicants (the paper's "lineage size").
+    pub fn len(&self) -> usize {
+        self.implicants.len()
+    }
+
+    /// `true` if there are no implicants.
+    pub fn is_empty(&self) -> bool {
+        self.implicants.is_empty()
+    }
+
+    /// The set of distinct variables, sorted.
+    pub fn vars(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.implicants.iter().flat_map(|i| i.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars().len()
+    }
+
+    /// Occurrence count per variable.
+    pub fn occurrences(&self) -> FxHashMap<u32, usize> {
+        let mut m = FxHashMap::default();
+        for imp in &self.implicants {
+            for &v in imp.iter() {
+                *m.entry(v).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Establish canonical form: sort/dedup literals and implicants, apply
+    /// absorption (drop any implicant that is a superset of another).
+    pub fn simplify(&mut self) {
+        for imp in &mut self.implicants {
+            let mut v: Vec<u32> = imp.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            *imp = v.into_boxed_slice();
+        }
+        // Shorter implicants first so absorption is a single forward pass.
+        self.implicants.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        self.implicants.dedup();
+        let mut kept: Vec<Box<[u32]>> = Vec::with_capacity(self.implicants.len());
+        'outer: for imp in std::mem::take(&mut self.implicants) {
+            for k in &kept {
+                if is_subset(k, &imp) {
+                    continue 'outer; // absorbed by a shorter implicant
+                }
+            }
+            kept.push(imp);
+        }
+        kept.sort();
+        self.implicants = kept;
+    }
+
+    /// Condition on `var = true`: remove the literal everywhere.
+    pub fn assume_true(&self, var: u32) -> Dnf {
+        let mut out = Dnf {
+            implicants: self
+                .implicants
+                .iter()
+                .map(|imp| {
+                    imp.iter()
+                        .copied()
+                        .filter(|&v| v != var)
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                })
+                .collect(),
+        };
+        out.simplify();
+        out
+    }
+
+    /// Condition on `var = false`: drop implicants containing the literal.
+    pub fn assume_false(&self, var: u32) -> Dnf {
+        let mut out = Dnf {
+            implicants: self
+                .implicants
+                .iter()
+                .filter(|imp| !imp.contains(&var))
+                .cloned()
+                .collect(),
+        };
+        out.simplify();
+        out
+    }
+
+    /// Evaluate under a truth assignment (callback per variable).
+    pub fn eval(&self, truth: impl Fn(u32) -> bool) -> bool {
+        self.implicants
+            .iter()
+            .any(|imp| imp.iter().all(|&v| truth(v)))
+    }
+}
+
+/// `a ⊆ b` for sorted slices.
+pub(crate) fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut bi = 0;
+    'outer: for &x in a {
+        while bi < b.len() {
+            match b[bi].cmp(&x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert!(Dnf::empty().is_false());
+        assert!(!Dnf::empty().is_true());
+        let t = Dnf::new([Vec::<u32>::new()]);
+        assert!(t.is_true());
+        assert!(!t.is_false());
+    }
+
+    #[test]
+    fn absorption() {
+        // X ∨ XY → X.
+        let f = Dnf::new([vec![0], vec![0, 1]]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(&*f.implicants[0], &[0][..]);
+    }
+
+    #[test]
+    fn dedup_literals_and_implicants() {
+        let f = Dnf::new([vec![1, 0, 1], vec![0, 1]]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(&*f.implicants[0], &[0, 1][..]);
+    }
+
+    #[test]
+    fn vars_and_occurrences() {
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        assert_eq!(f.vars(), vec![0, 1, 2]);
+        let occ = f.occurrences();
+        assert_eq!(occ[&0], 2);
+        assert_eq!(occ[&1], 1);
+    }
+
+    #[test]
+    fn conditioning() {
+        // F = XY ∨ XZ.
+        let f = Dnf::new([vec![0, 1], vec![0, 2]]);
+        let t = f.assume_true(0);
+        assert_eq!(t.len(), 2); // Y ∨ Z
+        assert_eq!(t.num_vars(), 2);
+        let fa = f.assume_false(0);
+        assert!(fa.is_false());
+    }
+
+    #[test]
+    fn conditioning_triggers_absorption() {
+        // F = X ∨ YZ; X=false → YZ; Y=true then → Z.
+        let f = Dnf::new([vec![0], vec![1, 2]]);
+        let g = f.assume_false(0).assume_true(1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(&*g.implicants[0], &[2][..]);
+    }
+
+    #[test]
+    fn eval_assignment() {
+        let f = Dnf::new([vec![0, 1], vec![2]]);
+        assert!(f.eval(|v| v == 2));
+        assert!(f.eval(|v| v == 0 || v == 1));
+        assert!(!f.eval(|v| v == 0));
+        assert!(!f.eval(|_| false));
+    }
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

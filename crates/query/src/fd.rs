@@ -1,0 +1,200 @@
+//! Variable-level functional dependencies and attribute closure
+//! (paper Section 3.3.2).
+//!
+//! Column-level FDs declared on relations ([`lapush_storage::Fd`]) are
+//! translated to FDs over *query variables* through the atom that uses the
+//! relation: an FD `cols_L → cols_R` on relation `R` used by atom
+//! `R(t₁, …, t_k)` becomes `vars(cols_L) → vars(cols_R)` (constants on the
+//! left-hand side are dropped — they are always "determined").
+//!
+//! The closure `x⁺` drives the chase dissociation `Δ_Γ`: every atom is
+//! dissociated on `x⁺ \ x` (Proposition 26 / Corollary 28).
+
+use crate::ast::{Query, Term};
+use crate::varset::VarSet;
+use lapush_storage::Database;
+
+/// A functional dependency over query variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarFd {
+    /// Determinant variables.
+    pub lhs: VarSet,
+    /// Determined variables.
+    pub rhs: VarSet,
+}
+
+/// Compute the attribute closure `vars⁺` under a set of variable FDs.
+pub fn var_closure(vars: VarSet, fds: &[VarFd]) -> VarSet {
+    let mut closure = vars;
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset(closure) && !fd.rhs.is_subset(closure) {
+                closure = closure.union(fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// Translate the column-level FDs of every relation used by `q` into
+/// variable-level FDs (the set `Γ` of the paper: "the union of FDs on every
+/// atom").
+///
+/// Atoms whose relation is missing from the database contribute nothing
+/// (useful in tests that build queries without data).
+pub fn var_fds_from_db(q: &Query, db: &Database) -> Vec<VarFd> {
+    let mut out = Vec::new();
+    for atom in q.atoms() {
+        let Ok(rel) = db.relation_by_name(&atom.relation) else {
+            continue;
+        };
+        for fd in rel.fds() {
+            out.extend(fd_to_var_fd(atom, &fd.lhs, &fd.rhs));
+        }
+    }
+    out
+}
+
+/// Translate one column-level FD through one atom. Returns `None` when the
+/// FD is degenerate at the variable level (empty right-hand side).
+pub fn fd_to_var_fd(atom: &crate::ast::Atom, lhs: &[usize], rhs: &[usize]) -> Option<VarFd> {
+    let mut l = VarSet::EMPTY;
+    for &c in lhs {
+        match atom.terms.get(c) {
+            Some(Term::Var(v)) => l.insert(*v),
+            // A constant determinant is always satisfied; skip it.
+            Some(Term::Const(_)) => {}
+            None => return None, // arity mismatch: ignore the FD
+        }
+    }
+    let mut r = VarSet::EMPTY;
+    for &c in rhs {
+        match atom.terms.get(c) {
+            Some(Term::Var(v)) => r.insert(*v),
+            Some(Term::Const(_)) => {}
+            None => return None,
+        }
+    }
+    let r = r.minus(l);
+    if r.is_empty() {
+        None
+    } else {
+        Some(VarFd { lhs: l, rhs: r })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryBuilder;
+    use crate::parser::parse_query;
+    use lapush_storage::{Fd, Relation};
+
+    #[test]
+    fn closure_fixpoint() {
+        // FDs: {0}→{1}, {1}→{2}. Closure of {0} = {0,1,2}.
+        let v = |i: u32| crate::ast::Var(i);
+        let fds = vec![
+            VarFd {
+                lhs: VarSet::single(v(0)),
+                rhs: VarSet::single(v(1)),
+            },
+            VarFd {
+                lhs: VarSet::single(v(1)),
+                rhs: VarSet::single(v(2)),
+            },
+        ];
+        let c = var_closure(VarSet::single(v(0)), &fds);
+        assert_eq!(c.len(), 3);
+        let c1 = var_closure(VarSet::single(v(2)), &fds);
+        assert_eq!(c1.len(), 1);
+    }
+
+    #[test]
+    fn closure_multi_var_lhs() {
+        let v = |i: u32| crate::ast::Var(i);
+        let fds = vec![VarFd {
+            lhs: VarSet::from_iter([v(0), v(1)]),
+            rhs: VarSet::single(v(2)),
+        }];
+        assert_eq!(var_closure(VarSet::single(v(0)), &fds).len(), 1);
+        assert_eq!(
+            var_closure(VarSet::from_iter([v(0), v(1)]), &fds).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn fds_from_database() {
+        // q :- R(x), S(x,y), T(y); S has FD x → y.
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let mut db = Database::new();
+        db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 2).unwrap();
+        db.create_relation("T", 1).unwrap();
+        db.relation_mut(s).add_fd(Fd::new([0], [1])).unwrap();
+
+        let fds = var_fds_from_db(&q, &db);
+        assert_eq!(fds.len(), 1);
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(fds[0].lhs, VarSet::single(x));
+        assert_eq!(fds[0].rhs, VarSet::single(y));
+        // Closure of S's vars is unchanged (already contains both), closure
+        // of R's vars gains y.
+        let cl = var_closure(VarSet::single(x), &fds);
+        assert!(cl.contains(y));
+    }
+
+    #[test]
+    fn constant_in_fd_columns() {
+        // Atom R('a', x) with key FD {0} → {1}: the constant determinant
+        // yields the variable FD ∅ → {x}, i.e. x is fixed.
+        let q = QueryBuilder::new("q")
+            .atom_terms(
+                "R",
+                vec![
+                    Term::Const(lapush_storage::Value::str("a")),
+                    Term::Var(crate::ast::Var(0)),
+                ],
+            )
+            .build();
+        // Manually intern the variable name table via builder misuse is
+        // awkward; parse instead.
+        drop(q);
+        let q = parse_query("q :- R('a', x)").unwrap();
+        let fd = fd_to_var_fd(&q.atoms()[0], &[0], &[1]).unwrap();
+        assert!(fd.lhs.is_empty());
+        assert_eq!(fd.rhs.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_fd_dropped() {
+        let q = parse_query("q :- R(x, y)").unwrap();
+        // rhs ⊆ lhs at the variable level → dropped.
+        assert!(fd_to_var_fd(&q.atoms()[0], &[0], &[0]).is_none());
+        // out-of-range column → dropped.
+        assert!(fd_to_var_fd(&q.atoms()[0], &[0], &[7]).is_none());
+    }
+
+    #[test]
+    fn missing_relation_ignored() {
+        let q = parse_query("q :- R(x), S(x, y)").unwrap();
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let _ = r;
+        // S absent from db: no FDs, no panic.
+        assert!(var_fds_from_db(&q, &db).is_empty());
+    }
+
+    #[test]
+    fn relation_level_key_helper() {
+        let mut rel = Relation::new("S", 3);
+        rel.add_fd(Fd::key([0], 3)).unwrap();
+        assert_eq!(rel.fds()[0].rhs, vec![1, 2]);
+    }
+}

@@ -1,0 +1,164 @@
+//! The *hypergraph shape* of a query.
+//!
+//! All of Section 3 of the paper (dissociations, hierarchy, cut-sets, plan
+//! enumeration) depends only on which variables appear in which atoms, which
+//! atoms are probabilistic, and which variables are head variables — not on
+//! constants, predicates, or column order. [`QueryShape`] captures exactly
+//! that, and dissociation (`lapush-core`) is a transformation of shapes:
+//! adding variables to atoms.
+
+use crate::ast::Query;
+use crate::varset::VarSet;
+
+/// Structural view of a query: per-atom variable sets plus head variables
+/// and per-atom probabilistic flags.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryShape {
+    /// Number of distinct variables in the underlying query.
+    pub n_vars: usize,
+    /// Head variables (treated as constants by all structural analysis).
+    pub head: VarSet,
+    /// `atom_vars[i]` = variables of atom `i` (possibly extended by a
+    /// dissociation).
+    pub atom_vars: Vec<VarSet>,
+    /// `probabilistic[i]` = atom `i`'s relation may hold uncertain tuples.
+    pub probabilistic: Vec<bool>,
+}
+
+impl QueryShape {
+    /// Extract the shape of a query. Atoms marked `^d` in the query text are
+    /// non-probabilistic; everything else is probabilistic.
+    pub fn of_query(q: &Query) -> Self {
+        QueryShape {
+            n_vars: q.num_vars(),
+            head: q.head_set(),
+            atom_vars: q.atoms().iter().map(|a| a.var_set()).collect(),
+            probabilistic: q
+                .atoms()
+                .iter()
+                .map(|a| !a.declared_deterministic)
+                .collect(),
+        }
+    }
+
+    /// Extract the shape, overriding per-atom probabilistic flags (e.g. from
+    /// database schema information). `probabilistic[i]` corresponds to
+    /// `q.atoms()[i]`.
+    pub fn of_query_with_flags(q: &Query, probabilistic: Vec<bool>) -> Self {
+        assert_eq!(probabilistic.len(), q.atoms().len());
+        QueryShape {
+            n_vars: q.num_vars(),
+            head: q.head_set(),
+            atom_vars: q.atoms().iter().map(|a| a.var_set()).collect(),
+            probabilistic,
+        }
+    }
+
+    /// Number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atom_vars.len()
+    }
+
+    /// All atom indices `0..m`.
+    pub fn all_atoms(&self) -> Vec<usize> {
+        (0..self.num_atoms()).collect()
+    }
+
+    /// Union of variables over a subset of atoms.
+    pub fn vars_of(&self, atoms: &[usize]) -> VarSet {
+        atoms
+            .iter()
+            .map(|&i| self.atom_vars[i])
+            .fold(VarSet::EMPTY, VarSet::union)
+    }
+
+    /// Existential variables of the subquery `(atoms, head)`:
+    /// variables of the atoms minus `head`.
+    pub fn existential_of(&self, atoms: &[usize], head: VarSet) -> VarSet {
+        self.vars_of(atoms).minus(head)
+    }
+
+    /// Apply a dissociation: extend each atom's variables by `delta[i]`.
+    /// `delta` must be parallel to `atom_vars` and each `delta[i]` must be
+    /// disjoint from atom `i`'s variables (checked with `debug_assert`).
+    pub fn dissociate(&self, delta: &[VarSet]) -> QueryShape {
+        debug_assert_eq!(delta.len(), self.atom_vars.len());
+        let atom_vars = self
+            .atom_vars
+            .iter()
+            .zip(delta)
+            .map(|(&av, &d)| {
+                debug_assert!(av.is_disjoint(d), "dissociation overlaps atom vars");
+                av.union(d)
+            })
+            .collect();
+        QueryShape {
+            n_vars: self.n_vars,
+            head: self.head,
+            atom_vars,
+            probabilistic: self.probabilistic.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{QueryBuilder, Var};
+
+    fn q_rst() -> Query {
+        // q(z) :- R(z,x), S(x,y), T^d(y)
+        QueryBuilder::new("q")
+            .head(&["z"])
+            .atom("R", &["z", "x"])
+            .atom("S", &["x", "y"])
+            .det_atom("T", &["y"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_extraction() {
+        let q = q_rst();
+        let s = QueryShape::of_query(&q);
+        assert_eq!(s.num_atoms(), 3);
+        assert_eq!(s.head.len(), 1);
+        assert_eq!(s.probabilistic, vec![true, true, false]);
+        assert_eq!(s.atom_vars[1].len(), 2);
+    }
+
+    #[test]
+    fn flags_override() {
+        let q = q_rst();
+        let s = QueryShape::of_query_with_flags(&q, vec![false, true, true]);
+        assert_eq!(s.probabilistic, vec![false, true, true]);
+    }
+
+    #[test]
+    fn vars_and_existential() {
+        let q = q_rst();
+        let s = QueryShape::of_query(&q);
+        let all = s.all_atoms();
+        assert_eq!(s.vars_of(&all).len(), 3);
+        assert_eq!(s.existential_of(&all, s.head).len(), 2);
+        assert_eq!(s.vars_of(&[0]).len(), 2);
+    }
+
+    #[test]
+    fn dissociation_extends_atoms() {
+        let q = q_rst();
+        let s = QueryShape::of_query(&q);
+        let y = q.var_by_name("y").unwrap();
+        // Dissociate R on y.
+        let delta = vec![VarSet::single(y), VarSet::EMPTY, VarSet::EMPTY];
+        let s2 = s.dissociate(&delta);
+        assert!(s2.atom_vars[0].contains(y));
+        assert_eq!(s2.atom_vars[1], s.atom_vars[1]);
+        // Head/probabilistic flags preserved.
+        assert_eq!(s2.head, s.head);
+        assert_eq!(s2.probabilistic, s.probabilistic);
+        // Original untouched.
+        assert!(!s.atom_vars[0].contains(y));
+        let _ = Var(0);
+    }
+}

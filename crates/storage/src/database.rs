@@ -1,0 +1,202 @@
+//! The probabilistic database: a catalog of relations.
+
+use crate::error::StorageError;
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::tuple::TupleId;
+use crate::value::Value;
+
+/// Ordinal of a relation inside a [`Database`] (matches [`TupleId::rel`]).
+pub type RelId = u32;
+
+/// A tuple-independent probabilistic database.
+///
+/// Owns its [`Relation`]s and provides name-based lookup. The database is the
+/// unit over which queries are evaluated and over which lineage tuple ids
+/// ([`TupleId`]) are scoped.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    by_name: FxHashMap<String, RelId>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a relation; its name must be fresh.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<RelId, StorageError> {
+        if self.by_name.contains_key(rel.name()) {
+            return Err(StorageError::DuplicateRelation(rel.name().to_string()));
+        }
+        let id = self.relations.len() as RelId;
+        self.by_name.insert(rel.name().to_string(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Convenience: create-and-add an empty probabilistic relation.
+    pub fn create_relation(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<RelId, StorageError> {
+        self.add_relation(Relation::new(name, arity))
+    }
+
+    /// Convenience: create-and-add an empty deterministic relation.
+    pub fn create_deterministic(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<RelId, StorageError> {
+        self.add_relation(Relation::deterministic(name, arity))
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Resolve a relation name to its id.
+    pub fn rel_id(&self, name: &str) -> Result<RelId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Relation by id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id as usize]
+    }
+
+    /// Mutable relation by id.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        &mut self.relations[id as usize]
+    }
+
+    /// Relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&Relation, StorageError> {
+        Ok(self.relation(self.rel_id(name)?))
+    }
+
+    /// Mutable relation by name.
+    pub fn relation_by_name_mut(&mut self, name: &str) -> Result<&mut Relation, StorageError> {
+        let id = self.rel_id(name)?;
+        Ok(self.relation_mut(id))
+    }
+
+    /// Iterate `(RelId, &Relation)`.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as RelId, r))
+    }
+
+    /// Probability of a base tuple.
+    pub fn tuple_prob(&self, id: TupleId) -> f64 {
+        self.relation(id.rel).prob(id.row)
+    }
+
+    /// Payload of a base tuple.
+    pub fn tuple_values(&self, id: TupleId) -> &[Value] {
+        self.relation(id.rel).row(id.row)
+    }
+
+    /// Multiply every tuple probability in every relation by `f`
+    /// (the scaling operation of the paper's Proposition 21 / Result 7).
+    pub fn scale_probs(&mut self, f: f64) {
+        for rel in &mut self.relations {
+            rel.scale_probs(f);
+        }
+    }
+
+    /// Average tuple probability across the whole database
+    /// (the paper's `avg[pi]`). Returns 0 for an empty database.
+    pub fn avg_prob(&self) -> f64 {
+        let n = self.tuple_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .relations
+            .iter()
+            .flat_map(|r| r.probs().iter().copied())
+            .sum();
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        db.relation_mut(r).push(tuple([1]), 0.4).unwrap();
+        db.relation_mut(r).push(tuple([2]), 0.6).unwrap();
+        let s = db.create_deterministic("S", 2).unwrap();
+        db.relation_mut(s).push_certain(tuple([1, 10])).unwrap();
+        db
+    }
+
+    #[test]
+    fn name_resolution() {
+        let db = sample_db();
+        assert_eq!(db.rel_id("R").unwrap(), 0);
+        assert_eq!(db.rel_id("S").unwrap(), 1);
+        assert!(db.rel_id("T").is_err());
+        assert_eq!(db.relation_by_name("S").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut db = sample_db();
+        assert!(matches!(
+            db.create_relation("R", 3),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_access_via_ids() {
+        let db = sample_db();
+        let id = TupleId::new(0, 1);
+        assert_eq!(db.tuple_prob(id), 0.6);
+        assert_eq!(db.tuple_values(id), &[Value::Int(2)][..]);
+    }
+
+    #[test]
+    fn counts_and_avg_prob() {
+        let db = sample_db();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.tuple_count(), 3);
+        let avg = db.avg_prob();
+        assert!((avg - (0.4 + 0.6 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_probs_applies_everywhere() {
+        let mut db = sample_db();
+        db.scale_probs(0.5);
+        assert_eq!(db.tuple_prob(TupleId::new(0, 0)), 0.2);
+        assert_eq!(db.tuple_prob(TupleId::new(1, 0)), 0.5);
+        assert!(!db.relation(1).is_deterministic());
+    }
+
+    #[test]
+    fn empty_db_avg_prob_is_zero() {
+        assert_eq!(Database::new().avg_prob(), 0.0);
+    }
+}

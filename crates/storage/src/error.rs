@@ -1,0 +1,74 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors raised when building or mutating databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// Lookup of a relation that does not exist.
+    UnknownRelation(String),
+    /// A tuple's arity does not match its relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity of the relation.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// Probability outside `[0, 1]` (or non-finite).
+    InvalidProbability {
+        /// Relation name.
+        relation: String,
+        /// The offending value.
+        prob: f64,
+    },
+    /// A deterministic relation received a tuple with probability < 1.
+    DeterministicViolation {
+        /// Relation name.
+        relation: String,
+        /// The offending value.
+        prob: f64,
+    },
+    /// A functional dependency refers to a column index out of range.
+    BadFdColumn {
+        /// Relation name.
+        relation: String,
+        /// The offending column index.
+        column: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, got {got}"
+            ),
+            StorageError::InvalidProbability { relation, prob } => {
+                write!(f, "invalid probability {prob} for a tuple of `{relation}`")
+            }
+            StorageError::DeterministicViolation { relation, prob } => write!(
+                f,
+                "deterministic relation `{relation}` received probability {prob} < 1"
+            ),
+            StorageError::BadFdColumn { relation, column } => write!(
+                f,
+                "functional dependency on `{relation}` uses out-of-range column {column}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

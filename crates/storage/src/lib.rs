@@ -1,0 +1,33 @@
+//! # lapush-storage
+//!
+//! Storage substrate for LaPushDB: an in-memory **tuple-independent
+//! probabilistic database** in the sense of Gatterbauer & Suciu (VLDB 2015),
+//! Section 2.
+//!
+//! A [`Database`] is a set of named [`Relation`]s. Every tuple `t` carries a
+//! probability `p(t) ∈ [0,1]`; a *possible world* is obtained by independently
+//! including each tuple with its probability. Relations may be flagged
+//! *deterministic* (every tuple has probability 1), and may declare
+//! column-level functional dependencies — both kinds of schema knowledge feed
+//! the plan-enumeration refinements of Section 3.3 of the paper.
+//!
+//! The crate also ships a small, fast, non-cryptographic hasher
+//! ([`fxhash`]) used throughout the engine for hot joins on integer keys.
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod fxhash;
+pub mod prob;
+pub mod relation;
+pub mod tuple;
+pub mod value;
+
+pub use csv::{database_from_dir, relation_from_text, CsvError, CsvOptions};
+pub use database::{Database, RelId};
+pub use error::StorageError;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use prob::{clamp01, independent_and, independent_or};
+pub use relation::{Fd, Relation};
+pub use tuple::{Tuple, TupleId};
+pub use value::Value;

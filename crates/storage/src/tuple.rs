@@ -1,0 +1,85 @@
+//! Tuples and tuple identities.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A database tuple: an ordered sequence of attribute [`Value`]s.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity.
+pub type Tuple = Box<[Value]>;
+
+/// Build a [`Tuple`] from anything convertible to values.
+pub fn tuple<I, V>(vals: I) -> Tuple
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    vals.into_iter().map(Into::into).collect()
+}
+
+/// Globally unique identity of a base tuple: relation ordinal + row ordinal.
+///
+/// `TupleId`s are the Boolean variables of lineage formulas: the lineage of a
+/// query answer is a monotone DNF over `TupleId`s (paper, Section 2,
+/// "Boolean Formulas").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId {
+    /// Ordinal of the relation inside its [`crate::Database`].
+    pub rel: u32,
+    /// Row index inside the relation.
+    pub row: u32,
+}
+
+impl TupleId {
+    /// Create a tuple id.
+    pub fn new(rel: u32, row: u32) -> Self {
+        TupleId { rel, row }
+    }
+
+    /// Pack into a single `u64` (relation in the high half). Useful as a
+    /// compact hash-map key.
+    pub fn pack(self) -> u64 {
+        (u64::from(self.rel) << 32) | u64::from(self.row)
+    }
+
+    /// Inverse of [`TupleId::pack`].
+    pub fn unpack(packed: u64) -> Self {
+        TupleId {
+            rel: (packed >> 32) as u32,
+            row: packed as u32,
+        }
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}:{}", self.rel, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_builder_mixes_types() {
+        let t = tuple([Value::from(1), Value::from("a")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t[1], Value::str("a"));
+    }
+
+    #[test]
+    fn tuple_id_pack_roundtrip() {
+        for (rel, row) in [(0, 0), (1, 2), (u32::MAX, u32::MAX), (7, 123456)] {
+            let id = TupleId::new(rel, row);
+            assert_eq!(TupleId::unpack(id.pack()), id);
+        }
+    }
+
+    #[test]
+    fn tuple_id_orders_by_relation_then_row() {
+        assert!(TupleId::new(0, 99) < TupleId::new(1, 0));
+        assert!(TupleId::new(1, 0) < TupleId::new(1, 1));
+    }
+}

@@ -1,0 +1,197 @@
+//! Attribute values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// The engine is dynamically typed at the column level: a column holds
+/// whatever [`Value`]s were inserted. The workloads of the paper use 64-bit
+/// integers (chain/star queries, TPC-H keys) and strings (TPC-H part names).
+/// Strings are reference-counted so copying tuples during joins is cheap.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// SQL-`LIKE` match with `%` (any substring, including empty) wildcards.
+    ///
+    /// This is the only pattern operator the paper's TPC-H query needs
+    /// (`p_name like '%red%green%'`). `_` wildcards are not supported.
+    /// Integers never match a pattern.
+    pub fn like(&self, pattern: &str) -> bool {
+        match self {
+            Value::Int(_) => false,
+            Value::Str(s) => like_match(s, pattern),
+        }
+    }
+}
+
+/// `%`-wildcard matcher: the pattern is split on `%`; the pieces must occur
+/// in order, anchored at the start/end when the pattern does not start/end
+/// with `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let pieces: Vec<&str> = pattern.split('%').collect();
+    if pieces.len() == 1 {
+        // No wildcard at all: exact match.
+        return s == pattern;
+    }
+    let mut rest = s;
+    let last = pieces.len() - 1;
+    for (i, piece) in pieces.iter().enumerate() {
+        if piece.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(piece) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == last {
+            return rest.ends_with(piece);
+        } else {
+            match rest.find(piece) {
+                Some(pos) => rest = &rest[pos + piece.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::from(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+        assert_eq!(v.to_string(), "42");
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let v = Value::from("red green");
+        assert_eq!(v.as_str(), Some("red green"));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn values_order_within_kind() {
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+
+    #[test]
+    fn like_exact_without_wildcard() {
+        assert!(Value::from("red").like("red"));
+        assert!(!Value::from("red").like("re"));
+    }
+
+    #[test]
+    fn like_any() {
+        assert!(Value::from("anything").like("%"));
+        assert!(Value::from("").like("%"));
+    }
+
+    #[test]
+    fn like_substring() {
+        assert!(Value::from("dark red metallic").like("%red%"));
+        assert!(!Value::from("dark blue metallic").like("%red%"));
+    }
+
+    #[test]
+    fn like_ordered_substrings() {
+        assert!(Value::from("a red and green part").like("%red%green%"));
+        assert!(!Value::from("a green and red part").like("%red%green%"));
+    }
+
+    #[test]
+    fn like_anchored_prefix_suffix() {
+        assert!(Value::from("redgreen").like("red%green"));
+        assert!(!Value::from("xredgreen").like("red%green"));
+        assert!(!Value::from("redgreenx").like("red%green"));
+        assert!(Value::from("red stuff green").like("red%green"));
+    }
+
+    #[test]
+    fn like_overlapping_pieces_consume_left_to_right() {
+        // "%aba%ba%" over "ababa": first match "aba" at 0, rest "ba" matches.
+        assert!(Value::from("ababa").like("%aba%ba%"));
+        assert!(!Value::from("aba").like("%aba%ba%"));
+    }
+
+    #[test]
+    fn like_int_never_matches() {
+        assert!(!Value::from(5).like("%"));
+    }
+}

@@ -1,0 +1,118 @@
+//! k-chain workload (Setup 2 of the paper):
+//! `q(x₀, x_k) :- R₁(x₀,x₁), R₂(x₁,x₂), …, R_k(x_{k−1},x_k)`.
+
+use lapush_query::{Query, QueryBuilder};
+use lapush_storage::{Database, StorageError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The k-chain query with head `(x₀, x_k)`.
+pub fn chain_query(k: usize) -> Query {
+    assert!(k >= 1, "chain length must be positive");
+    let names: Vec<String> = (0..=k).map(|i| format!("x{i}")).collect();
+    let mut b = QueryBuilder::new("q").head(&[names[0].as_str(), names[k].as_str()]);
+    for i in 1..=k {
+        b = b.atom(
+            &format!("R{i}"),
+            &[names[i - 1].as_str(), names[i].as_str()],
+        );
+    }
+    b.build().expect("valid chain query")
+}
+
+/// Generate the chain database: `k` binary relations with `n` tuples each,
+/// values uniform in `{1, …, domain}`, probabilities uniform in
+/// `[0, pi_max]`.
+pub fn chain_db(
+    k: usize,
+    n: usize,
+    domain: i64,
+    pi_max: f64,
+    seed: u64,
+) -> Result<Database, StorageError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 1..=k {
+        let rel = db.create_relation(format!("R{i}"), 2)?;
+        while db.relation(rel).len() < n {
+            let u = rng.gen_range(1..=domain);
+            let v = rng.gen_range(1..=domain);
+            let p = rng.gen_range(0.0..=pi_max);
+            db.relation_mut(rel)
+                .push(Box::new([Value::Int(u), Value::Int(v)]), p)?;
+        }
+    }
+    Ok(db)
+}
+
+/// Pick a domain size so the k-chain query has roughly `target` answers on
+/// a database of `n` tuples per relation (the paper keeps 20–50 answers).
+///
+/// Uses the expected-cardinality model of uniform random relations:
+/// the expected number of answer pairs is about
+/// `N² · ∏ (1 − (1 − 1/N²)^n) …` — instead of inverting that analytically,
+/// this does a short multiplicative search probing the model.
+pub fn find_chain_domain(k: usize, n: usize, target: f64) -> i64 {
+    // Expected answers(N): start from E[matches] ≈ n^k / N^(k-1) capped by
+    // N², then refine: distinct endpoints ≈ min(n^k / N^(k-1), N²).
+    let expected = |nn: f64| -> f64 {
+        let matches = (n as f64).powi(k as i32) / nn.powi(k as i32 - 1);
+        let pairs = nn * nn;
+        pairs * (1.0 - (-matches / pairs).exp())
+    };
+    // Expected answers decrease in N on the large-N side; walk down from a
+    // generous upper bound until the target is reached.
+    let mut nn = (n as f64) * (k as f64) * 10.0 + 10.0;
+    while nn > 2.0 && expected(nn) < target {
+        nn /= 1.1;
+    }
+    (nn.round() as i64).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_shape() {
+        let q = chain_query(4);
+        assert_eq!(q.atoms().len(), 4);
+        assert_eq!(q.head().len(), 2);
+        assert_eq!(q.existential_vars().len(), 3);
+    }
+
+    #[test]
+    fn db_sizes_and_bounds() {
+        let db = chain_db(3, 200, 50, 0.4, 7).unwrap();
+        for i in 1..=3 {
+            let rel = db.relation_by_name(&format!("R{i}")).unwrap();
+            assert_eq!(rel.len(), 200);
+            for (_, row, p) in rel.iter() {
+                assert!((0.0..=0.4).contains(&p));
+                for v in row {
+                    let x = v.as_int().unwrap();
+                    assert!((1..=50).contains(&x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = chain_db(2, 50, 20, 0.5, 3).unwrap();
+        let b = chain_db(2, 50, 20, 0.5, 3).unwrap();
+        assert_eq!(
+            a.relation_by_name("R1").unwrap().rows(),
+            b.relation_by_name("R1").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn domain_search_returns_sane_values() {
+        let n = find_chain_domain(4, 1000, 35.0);
+        assert!(n >= 2);
+        // Larger target ⇒ smaller domain (more collisions).
+        let n_small_target = find_chain_domain(4, 1000, 5.0);
+        assert!(n_small_target >= n);
+    }
+}

@@ -1,0 +1,104 @@
+//! Random queries and databases for property-based testing.
+
+use lapush_query::{Query, QueryBuilder};
+use lapush_storage::{Database, StorageError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random connected self-join-free conjunctive query with
+/// `atoms` atoms over `vars` variables (arities 1–3, Boolean head).
+/// Connectivity is encouraged by reusing already-placed variables.
+pub fn random_query(seed: u64, atoms: usize, vars: usize) -> Query {
+    assert!(atoms >= 1 && vars >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+    let mut b = QueryBuilder::new("q");
+    let mut used: Vec<usize> = Vec::new();
+    for i in 0..atoms {
+        let arity = rng.gen_range(1..=3usize.min(vars));
+        let mut chosen: Vec<usize> = Vec::with_capacity(arity);
+        for j in 0..arity {
+            // First slot of a non-first atom: prefer a used variable to keep
+            // the query connected.
+            let v = if j == 0 && i > 0 && !used.is_empty() && rng.gen_bool(0.8) {
+                used[rng.gen_range(0..used.len())]
+            } else {
+                rng.gen_range(0..vars)
+            };
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            if !used.contains(&v) {
+                used.push(v);
+            }
+        }
+        let arg_names: Vec<&str> = chosen.iter().map(|&v| names[v].as_str()).collect();
+        b = b.atom(&format!("R{i}"), &arg_names);
+    }
+    b.build().expect("random query is well-formed")
+}
+
+/// Generate a small random database for a query: every relation used by an
+/// atom gets `tuples` rows over `{1, …, domain}` with probabilities uniform
+/// in `[0, pi_max]`.
+pub fn random_db_for_query(
+    q: &Query,
+    seed: u64,
+    tuples: usize,
+    domain: i64,
+    pi_max: f64,
+) -> Result<Database, StorageError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        let arity = atom.terms.len();
+        let rel = db.create_relation(&atom.relation, arity)?;
+        let cap = ((domain as u128).pow(arity as u32).min(tuples as u128)) as usize;
+        let mut guard = 0;
+        while db.relation(rel).len() < cap && guard < tuples * 20 {
+            guard += 1;
+            let row: Box<[Value]> = (0..arity)
+                .map(|_| Value::Int(rng.gen_range(1..=domain)))
+                .collect();
+            let p = rng.gen_range(0.0..=pi_max);
+            db.relation_mut(rel).push(row, p)?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_queries_are_valid_and_varied() {
+        let mut num_atoms = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let q = random_query(seed, 1 + (seed as usize % 4), 4);
+            assert!(!q.atoms().is_empty());
+            num_atoms.insert(q.atoms().len());
+        }
+        assert!(num_atoms.len() > 1);
+    }
+
+    #[test]
+    fn db_matches_query_schema() {
+        let q = random_query(7, 3, 4);
+        let db = random_db_for_query(&q, 1, 10, 4, 0.5).unwrap();
+        for atom in q.atoms() {
+            let rel = db.relation_by_name(&atom.relation).unwrap();
+            assert_eq!(rel.arity(), atom.terms.len());
+            assert!(!rel.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let q1 = random_query(3, 3, 3);
+        let q2 = random_query(3, 3, 3);
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,116 @@
+//! `lapush` — command-line probabilistic query evaluation.
+//!
+//! Load a directory of CSV relations (file stem = relation name, last
+//! column = tuple probability) and evaluate a conjunctive query with the
+//! method of your choice:
+//!
+//! ```console
+//! $ lapush --data ./facts --query 'q(d) :- Directed(d, m), Starred(m, a)' \
+//!          --method diss
+//! ```
+//!
+//! Methods: `diss` (propagation score, default), `bounds` (sandwich
+//! [low, ρ] interval), `exact` (WMC oracle), `mc` (Monte Carlo, with
+//! `--samples`), `sql` (deterministic answers), `plans` (print plans only).
+
+use lapushdb::prelude::*;
+use lapushdb::storage::{database_from_dir, CsvOptions};
+use lapushdb::{bound_answers, exact_answers, mc_answers, rank_by_dissociation, RankOptions};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("lapush: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let query_text = arg("query").ok_or("missing --query '<datalog query>'")?;
+    let q = parse_query(&query_text)?;
+    let method = arg("method").unwrap_or_else(|| "diss".into());
+
+    if method == "plans" {
+        let shape = QueryShape::of_query(&q);
+        let plans = minimal_plans(&shape);
+        println!("{} minimal plan(s):", plans.len());
+        for p in &plans {
+            println!("  {}", p.render(&q));
+        }
+        return Ok(());
+    }
+
+    let data = arg("data").ok_or("missing --data <dir of CSV relations>")?;
+    let opts = CsvOptions {
+        prob_column: arg("no-probs").is_none(),
+        deterministic: arg("no-probs").is_some(),
+    };
+    let db = database_from_dir(std::path::Path::new(&data), opts)?;
+    eprintln!(
+        "loaded {} relations, {} tuples",
+        db.relation_count(),
+        db.tuple_count()
+    );
+
+    match method.as_str() {
+        "diss" => {
+            let ans = rank_by_dissociation(&db, &q, RankOptions::default())?;
+            print_answers(&ans, None);
+        }
+        "bounds" => {
+            let (lower, upper) = bound_answers(&db, &q)?;
+            print_answers(&upper, Some(&lower));
+        }
+        "exact" => {
+            let ans = exact_answers(&db, &q)?;
+            print_answers(&ans, None);
+        }
+        "mc" => {
+            let samples: usize = arg("samples")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1000);
+            let ans = mc_answers(&db, &q, samples, 42)?;
+            print_answers(&ans, None);
+        }
+        "sql" => {
+            let ans = deterministic_answers(&db, &q)?;
+            for (key, _) in ans.ranked() {
+                println!("{}", render_key(&key));
+            }
+        }
+        other => return Err(format!("unknown --method `{other}`").into()),
+    }
+    Ok(())
+}
+
+fn render_key(key: &[Value]) -> String {
+    if key.is_empty() {
+        "(true)".to_string()
+    } else {
+        key.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn print_answers(ans: &AnswerSet, lower: Option<&AnswerSet>) {
+    for (key, score) in ans.ranked() {
+        match lower {
+            Some(lo) => println!(
+                "{}\t[{:.6}, {:.6}]",
+                render_key(&key),
+                lo.score_of(&key),
+                score
+            ),
+            None => println!("{}\t{:.6}", render_key(&key), score),
+        }
+    }
+}

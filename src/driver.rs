@@ -1,0 +1,347 @@
+//! High-level drivers tying the crates together: one call from query text
+//! to ranked answers, for each of the paper's evaluation methods.
+
+use lapush_core::{minimal_plans_opts, single_plan, EnumOptions, SchemaInfo};
+use lapush_engine::{
+    eval_plan, propagation_score, reduce_database, AnswerSet, ExecError, ExecOptions, Semantics,
+};
+use lapush_lineage::{build_lineage, exact_prob, monte_carlo, LineageError};
+use lapush_query::Query;
+use lapush_storage::{Database, FxHashMap, Value};
+use std::fmt;
+
+/// Which of the paper's evaluation strategies to use for the propagation
+/// score (Section 4 / Figure 5 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Evaluate every minimal plan separately, take the minimum
+    /// ("all plans" series).
+    MultiPlan,
+    /// Optimization 1: one single plan with `min` pushed down.
+    Opt1,
+    /// Optimizations 1+2: single plan with common-subplan view reuse.
+    #[default]
+    Opt12,
+    /// Optimizations 1+2+3: additionally run a deterministic semi-join
+    /// reduction on the input relations first.
+    Opt123,
+}
+
+/// Options for [`rank_by_dissociation`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankOptions {
+    /// Evaluation strategy.
+    pub opt: OptLevel,
+    /// Use schema knowledge (deterministic relations from the catalog and
+    /// `^d` markers; functional dependencies from the catalog) to reduce
+    /// the number of plans (Section 3.3).
+    pub use_schema: bool,
+}
+
+/// Errors from the drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// Plan execution failed.
+    Exec(ExecError),
+    /// Lineage construction failed.
+    Lineage(LineageError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Exec(e) => write!(f, "execution error: {e}"),
+            DriverError::Lineage(e) => write!(f, "lineage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<ExecError> for DriverError {
+    fn from(e: ExecError) -> Self {
+        DriverError::Exec(e)
+    }
+}
+
+impl From<LineageError> for DriverError {
+    fn from(e: LineageError) -> Self {
+        DriverError::Lineage(e)
+    }
+}
+
+/// Compute the propagation score `ρ(q)` of every answer: the minimum over
+/// all minimal safe dissociations of the extensional plan score
+/// (Definition 14), with the requested optimization level.
+pub fn rank_by_dissociation(
+    db: &Database,
+    q: &Query,
+    opts: RankOptions,
+) -> Result<AnswerSet, DriverError> {
+    let schema = if opts.use_schema {
+        SchemaInfo::from_db(q, db)
+    } else {
+        SchemaInfo::from_query(q)
+    };
+    let enum_opts = if opts.use_schema {
+        EnumOptions::full()
+    } else {
+        EnumOptions::default()
+    };
+
+    let reduced;
+    let data: &Database = if opts.opt == OptLevel::Opt123 {
+        reduced = reduce_database(db, q);
+        &reduced
+    } else {
+        db
+    };
+
+    let ans = match opts.opt {
+        OptLevel::MultiPlan => {
+            let plans = minimal_plans_opts(q, &schema, enum_opts);
+            propagation_score(data, q, &plans, ExecOptions::default())?
+        }
+        OptLevel::Opt1 => {
+            let plan = single_plan(q, &schema, enum_opts);
+            eval_plan(data, q, &plan, ExecOptions::default())?
+        }
+        OptLevel::Opt12 | OptLevel::Opt123 => {
+            let plan = single_plan(q, &schema, enum_opts);
+            let exec = ExecOptions {
+                semantics: Semantics::Probabilistic,
+                reuse_views: true,
+            };
+            eval_plan(data, q, &plan, exec)?
+        }
+    };
+    Ok(ans)
+}
+
+/// Sandwich bounds (extension beyond the paper): for every answer, a
+/// guaranteed interval `[low, high]` around its true probability.
+///
+/// `high` is the propagation score `ρ(q)` (Definition 14). `low` evaluates
+/// every minimal plan under [`Semantics::LowerBound`] (max-projections:
+/// each answer's score is the probability of one consistent derivation,
+/// hence a lower bound on the monotone lineage) and keeps the best bound
+/// per answer.
+pub fn bound_answers(db: &Database, q: &Query) -> Result<(AnswerSet, AnswerSet), DriverError> {
+    let schema = SchemaInfo::from_query(q);
+    let plans = minimal_plans_opts(q, &schema, EnumOptions::default());
+    let upper = propagation_score(db, q, &plans, ExecOptions::default())?;
+    let low_opts = ExecOptions {
+        semantics: Semantics::LowerBound,
+        reuse_views: false,
+    };
+    let mut lower = eval_plan(db, q, &plans[0], low_opts)?;
+    for p in &plans[1..] {
+        let next = eval_plan(db, q, p, low_opts)?;
+        lower.max_with(&next);
+    }
+    Ok((lower, upper))
+}
+
+/// Exact answer probabilities via lineage + weighted model counting
+/// (the ground-truth oracle; exponential in lineage connectivity).
+pub fn exact_answers(db: &Database, q: &Query) -> Result<AnswerSet, DriverError> {
+    let lin = build_lineage(db, q)?;
+    let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    for a in &lin.answers {
+        rows.insert(a.key.clone(), exact_prob(&a.dnf, &lin.var_probs));
+    }
+    Ok(AnswerSet {
+        vars: q.head().to_vec(),
+        rows,
+    })
+}
+
+/// Budgeted exact answers: `None` if any answer's model count exceeds
+/// `max_calls` recursive steps (the explicit analogue of the paper skipping
+/// SampleSearch ground truth when it becomes infeasible).
+pub fn exact_answers_bounded(
+    db: &Database,
+    q: &Query,
+    max_calls: u64,
+) -> Result<Option<AnswerSet>, DriverError> {
+    let lin = build_lineage(db, q)?;
+    let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    for a in &lin.answers {
+        match lapush_lineage::exact_prob_bounded(&a.dnf, &lin.var_probs, max_calls) {
+            Some(p) => {
+                rows.insert(a.key.clone(), p);
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(AnswerSet {
+        vars: q.head().to_vec(),
+        rows,
+    }))
+}
+
+/// Monte Carlo answer probabilities: `MC(samples)` of the experiments.
+/// Deterministic for a fixed seed.
+pub fn mc_answers(
+    db: &Database,
+    q: &Query,
+    samples: usize,
+    seed: u64,
+) -> Result<AnswerSet, DriverError> {
+    let lin = build_lineage(db, q)?;
+    let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    for (i, a) in lin.answers.iter().enumerate() {
+        rows.insert(
+            a.key.clone(),
+            monte_carlo(&a.dnf, &lin.var_probs, samples, seed.wrapping_add(i as u64)),
+        );
+    }
+    Ok(AnswerSet {
+        vars: q.head().to_vec(),
+        rows,
+    })
+}
+
+/// Lineage statistics per answer: `(answer, lineage size)` — the
+/// "ranking by lineage size" baseline — plus the maximum lineage size
+/// (the paper's `max[lin]`).
+pub fn lineage_stats(db: &Database, q: &Query) -> Result<(AnswerSet, usize), DriverError> {
+    let lin = build_lineage(db, q)?;
+    let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    for a in &lin.answers {
+        rows.insert(a.key.clone(), a.dnf.len() as f64);
+    }
+    Ok((
+        AnswerSet {
+            vars: q.head().to_vec(),
+            rows,
+        },
+        lin.max_size(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_query::parse_query;
+
+    #[test]
+    fn sandwich_bounds_contain_exact() {
+        let db = rst_db();
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let (lower, upper) = bound_answers(&db, &q).unwrap();
+        let exact = exact_answers(&db, &q).unwrap().boolean_score();
+        assert!(lower.boolean_score() <= exact + 1e-12);
+        assert!(upper.boolean_score() >= exact - 1e-12);
+        assert!(lower.boolean_score() > 0.0);
+    }
+
+    fn rst_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 2).unwrap();
+        let t = db.create_relation("T", 1).unwrap();
+        for x in [1, 2] {
+            db.relation_mut(r)
+                .push(Box::new([Value::Int(x)]), 0.5)
+                .unwrap();
+            db.relation_mut(t)
+                .push(Box::new([Value::Int(x)]), 0.5)
+                .unwrap();
+        }
+        for (x, y) in [(1, 1), (1, 2), (2, 2)] {
+            db.relation_mut(s)
+                .push(Box::new([Value::Int(x), Value::Int(y)]), 0.5)
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn all_opt_levels_agree() {
+        let db = rst_db();
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let base = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::MultiPlan,
+                use_schema: false,
+            },
+        )
+        .unwrap()
+        .boolean_score();
+        for opt in [OptLevel::Opt1, OptLevel::Opt12, OptLevel::Opt123] {
+            let got = rank_by_dissociation(
+                &db,
+                &q,
+                RankOptions {
+                    opt,
+                    use_schema: false,
+                },
+            )
+            .unwrap()
+            .boolean_score();
+            assert!((got - base).abs() < 1e-12, "{opt:?}");
+        }
+    }
+
+    #[test]
+    fn dissociation_upper_bounds_exact() {
+        let db = rst_db();
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let rho = rank_by_dissociation(&db, &q, RankOptions::default())
+            .unwrap()
+            .boolean_score();
+        let exact = exact_answers(&db, &q).unwrap().boolean_score();
+        assert!(rho >= exact - 1e-12);
+        assert!(rho <= 1.0);
+    }
+
+    #[test]
+    fn mc_converges_to_exact() {
+        let db = rst_db();
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let exact = exact_answers(&db, &q).unwrap().boolean_score();
+        let mc = mc_answers(&db, &q, 100_000, 7).unwrap().boolean_score();
+        assert!((mc - exact).abs() < 0.01, "mc {mc} exact {exact}");
+    }
+
+    #[test]
+    fn lineage_stats_reports_sizes() {
+        let db = rst_db();
+        let q = parse_query("q(x) :- R(x), S(x, y), T(y)").unwrap();
+        let (sizes, max_lin) = lineage_stats(&db, &q).unwrap();
+        // x=1 joins two S-tuples, x=2 one.
+        assert_eq!(sizes.score_of(&[Value::Int(1)]), 2.0);
+        assert_eq!(sizes.score_of(&[Value::Int(2)]), 1.0);
+        assert_eq!(max_lin, 2);
+    }
+
+    #[test]
+    fn schema_knowledge_changes_nothing_without_schema() {
+        let db = rst_db();
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let a = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::Opt12,
+                use_schema: true,
+            },
+        )
+        .unwrap()
+        .boolean_score();
+        let b = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::Opt12,
+                use_schema: false,
+            },
+        )
+        .unwrap()
+        .boolean_score();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! One-sided guarantee and optimization-equivalence properties on random
+//! instances:
+//!
+//! * Corollary 19: every plan's score upper-bounds the true probability;
+//!   hence `ρ(q) ≥ P(q)` per answer.
+//! * Proposition 6 / conservativity: safe query ⇒ one plan ⇒ exact.
+//! * Optimizations 1–3 never change the computed score.
+//! * Schema-aware enumeration (DR/FD) computes the same `ρ(q)` with fewer
+//!   plans when the schema knowledge is valid.
+
+use lapushdb::core::{minimal_plans, minimal_plans_opts, EnumOptions, SchemaInfo};
+use lapushdb::prelude::*;
+use lapushdb::workload::{random_db_for_query, random_query};
+use lapushdb::{rank_by_dissociation, OptLevel, RankOptions};
+
+#[test]
+fn dissociation_upper_bounds_exact_on_random_instances() {
+    for seed in 0..40u64 {
+        let q = random_query(seed, 2 + (seed % 3) as usize, 4);
+        let db = random_db_for_query(&q, seed * 7 + 1, 5, 3, 1.0).unwrap();
+        let rho = rank_by_dissociation(&db, &q, RankOptions::default()).unwrap();
+        let exact = exact_answers(&db, &q).unwrap();
+        assert_eq!(rho.len(), exact.len(), "seed {seed}");
+        for (key, &r) in &rho.rows {
+            let e = exact.score_of(key);
+            assert!(
+                r >= e - 1e-10 && r <= 1.0 + 1e-12,
+                "seed {seed}, key {key:?}: rho {r} < exact {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn safe_queries_are_computed_exactly() {
+    // Hierarchical queries: single plan, score == exact probability.
+    for (text, seed) in [
+        ("q :- R0(x), R1(x, y)", 1u64),
+        ("q(z) :- R0(z, x), R1(x, y), R2(x, y)", 2),
+        ("q :- R0(x, y), R1(y, z), R2(y, z, u)", 3),
+        ("q :- R0(x), R1(y)", 4),
+    ] {
+        let q = parse_query(text).unwrap();
+        let shape = QueryShape::of_query(&q);
+        let plans = minimal_plans(&shape);
+        assert_eq!(plans.len(), 1, "{text} should be safe");
+        let db = random_db_for_query(&q, seed, 6, 3, 1.0).unwrap();
+        let rho = rank_by_dissociation(&db, &q, RankOptions::default()).unwrap();
+        let exact = exact_answers(&db, &q).unwrap();
+        for (key, &r) in &rho.rows {
+            assert!(
+                (r - exact.score_of(key)).abs() < 1e-10,
+                "{text}: {r} vs {}",
+                exact.score_of(key)
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_levels_agree_on_random_instances() {
+    for seed in 0..25u64 {
+        let q = random_query(seed + 100, 2 + (seed % 3) as usize, 4);
+        let db = random_db_for_query(&q, seed * 13 + 5, 5, 3, 1.0).unwrap();
+        let base = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::MultiPlan,
+                use_schema: false,
+            },
+        )
+        .unwrap();
+        for opt in [OptLevel::Opt1, OptLevel::Opt12, OptLevel::Opt123] {
+            let got = rank_by_dissociation(
+                &db,
+                &q,
+                RankOptions {
+                    opt,
+                    use_schema: false,
+                },
+            )
+            .unwrap();
+            assert_eq!(got.len(), base.len(), "seed {seed} {opt:?}");
+            for (key, &s) in &base.rows {
+                assert!(
+                    (got.score_of(key) - s).abs() < 1e-10,
+                    "seed {seed} {opt:?} key {key:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_relations_preserve_rho_with_fewer_plans() {
+    // Make relation R2 deterministic (p = 1 everywhere, flagged in the
+    // catalog). The DR-aware enumeration returns fewer (or equal) plans but
+    // the same propagation score.
+    for seed in 0..15u64 {
+        let q = random_query(seed + 300, 3, 4);
+        let mut db = random_db_for_query(&q, seed * 3 + 2, 5, 3, 1.0).unwrap();
+        // Rebuild last atom's relation as deterministic.
+        let last = q.atoms().last().unwrap().relation.clone();
+        let rows: Vec<_> = {
+            let rel = db.relation_by_name(&last).unwrap();
+            rel.rows().to_vec()
+        };
+        let mut db2 = Database::new();
+        for (_, rel) in db.relations() {
+            if rel.name() == last {
+                let mut d = lapushdb::storage::Relation::deterministic(&last, rel.arity());
+                for r in &rows {
+                    d.push_certain(r.clone()).unwrap();
+                }
+                db2.add_relation(d).unwrap();
+            } else {
+                db2.add_relation(rel.clone()).unwrap();
+            }
+        }
+        db = db2;
+
+        let schema_plain = SchemaInfo::all_probabilistic(&q);
+        let schema_dr = SchemaInfo::from_db(&q, &db);
+        let plans_plain = minimal_plans_opts(&q, &schema_plain, EnumOptions::default());
+        let plans_dr = minimal_plans_opts(
+            &q,
+            &schema_dr,
+            EnumOptions {
+                use_deterministic: true,
+                use_fds: false,
+            },
+        );
+        assert!(
+            plans_dr.len() <= plans_plain.len(),
+            "seed {seed}: DR plans {} > plain {}",
+            plans_dr.len(),
+            plans_plain.len()
+        );
+        let rho_plain = propagation_score(&db, &q, &plans_plain, ExecOptions::default()).unwrap();
+        let rho_dr = propagation_score(&db, &q, &plans_dr, ExecOptions::default()).unwrap();
+        for (key, &s) in &rho_plain.rows {
+            assert!(
+                (rho_dr.score_of(key) - s).abs() < 1e-10,
+                "seed {seed} key {key:?}: dr {} vs plain {s}",
+                rho_dr.score_of(key)
+            );
+        }
+    }
+}
+
+#[test]
+fn fd_knowledge_preserves_rho_when_fd_holds() {
+    // q :- R(x), S(x,y), T(y) with FD x→y on S: safe; FD-aware enumeration
+    // returns one plan computing the exact probability.
+    let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+    let mut db = Database::new();
+    let r = db.create_relation("R", 1).unwrap();
+    let s = db.create_relation("S", 2).unwrap();
+    let t = db.create_relation("T", 1).unwrap();
+    for x in [1, 2, 3] {
+        db.relation_mut(r).push(Box::new([Value::Int(x)]), 0.4).unwrap();
+        db.relation_mut(t).push(Box::new([Value::Int(x)]), 0.7).unwrap();
+        // x → y: exactly one y per x.
+        db.relation_mut(s)
+            .push(Box::new([Value::Int(x), Value::Int(x % 2 + 1)]), 0.5)
+            .unwrap();
+    }
+    db.relation_by_name_mut("S")
+        .unwrap()
+        .add_fd(lapushdb::storage::Fd::new([0], [1]))
+        .unwrap();
+    assert!(db
+        .relation_by_name("S")
+        .unwrap()
+        .satisfies_fd(&lapushdb::storage::Fd::new([0], [1])));
+
+    let schema = SchemaInfo::from_db(&q, &db);
+    let plans_fd = minimal_plans_opts(&q, &schema, EnumOptions::full());
+    assert_eq!(plans_fd.len(), 1);
+    let rho = propagation_score(&db, &q, &plans_fd, ExecOptions::default()).unwrap();
+    let exact = exact_answers(&db, &q).unwrap();
+    assert!((rho.boolean_score() - exact.boolean_score()).abs() < 1e-10);
+
+    // And it agrees with the 2-plan plain enumeration.
+    let plans_plain = minimal_plans_opts(&q, &schema, EnumOptions::default());
+    assert_eq!(plans_plain.len(), 2);
+    let rho_plain = propagation_score(&db, &q, &plans_plain, ExecOptions::default()).unwrap();
+    assert!((rho.boolean_score() - rho_plain.boolean_score()).abs() < 1e-10);
+}
+
+#[test]
+fn semijoin_reduction_is_transparent() {
+    for seed in 0..15u64 {
+        let q = random_query(seed + 500, 3, 4);
+        let db = random_db_for_query(&q, seed * 11 + 3, 6, 4, 1.0).unwrap();
+        let plain = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::Opt12,
+                use_schema: false,
+            },
+        )
+        .unwrap();
+        let reduced = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::Opt123,
+                use_schema: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.len(), reduced.len(), "seed {seed}");
+        for (key, &s) in &plain.rows {
+            assert!((reduced.score_of(key) - s).abs() < 1e-10, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn sandwich_bounds_contain_exact_on_random_instances() {
+    // Extension: lower-bound semantics (max-projection) + ρ(q) sandwich the
+    // true probability per answer.
+    use lapushdb::bound_answers;
+    for seed in 0..25u64 {
+        let q = random_query(seed + 700, 2 + (seed % 3) as usize, 4);
+        let db = random_db_for_query(&q, seed * 17 + 9, 5, 3, 1.0).unwrap();
+        let (lower, upper) = bound_answers(&db, &q).unwrap();
+        let exact = exact_answers(&db, &q).unwrap();
+        assert_eq!(lower.len(), exact.len(), "seed {seed}");
+        for (key, &e) in &exact.rows {
+            let lo = lower.score_of(key);
+            let hi = upper.score_of(key);
+            assert!(
+                lo <= e + 1e-10 && e <= hi + 1e-10,
+                "seed {seed} key {key:?}: [{lo}, {hi}] should contain {e}"
+            );
+            assert!(lo > 0.0, "derived answers have a positive witness");
+        }
+    }
+}

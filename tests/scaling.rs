@@ -1,0 +1,75 @@
+//! Proposition 21 (small probabilities): scaling all tuple probabilities
+//! by `f → 0` drives the relative error of `ρ(q)` w.r.t. `P(q)` to zero —
+//! the basis of the paper's Results 7–8.
+
+use lapushdb::prelude::*;
+use lapushdb::workload::{random_db_for_query, random_query};
+use lapushdb::{exact_answers, rank_by_dissociation, RankOptions};
+
+fn relative_error(db: &Database, q: &Query) -> f64 {
+    let rho = rank_by_dissociation(db, q, RankOptions::default()).unwrap();
+    let exact = exact_answers(db, q).unwrap();
+    let mut worst: f64 = 0.0;
+    for (key, &r) in &rho.rows {
+        let e = exact.score_of(key);
+        if e > 0.0 {
+            worst = worst.max((r - e) / e);
+        }
+    }
+    worst
+}
+
+#[test]
+fn relative_error_decreases_with_scaling() {
+    for seed in 0..10u64 {
+        let q = random_query(seed + 40, 3, 4);
+        let db = random_db_for_query(&q, seed * 5 + 2, 5, 3, 0.9).unwrap();
+        let e1 = relative_error(&db, &q);
+
+        let mut db_half = db.clone();
+        db_half.scale_probs(0.3);
+        let e2 = relative_error(&db_half, &q);
+
+        let mut db_tiny = db.clone();
+        db_tiny.scale_probs(0.05);
+        let e3 = relative_error(&db_tiny, &q);
+
+        // Monotone decrease along the scaling sequence (allow tiny noise
+        // for instances that are already exact).
+        assert!(
+            e2 <= e1 + 1e-9,
+            "seed {seed}: error grew when scaling 0.3: {e1} -> {e2}"
+        );
+        assert!(
+            e3 <= e2 + 1e-9,
+            "seed {seed}: error grew when scaling 0.05: {e2} -> {e3}"
+        );
+        // And the strongly-scaled instance is close to exact.
+        assert!(e3 < 0.05, "seed {seed}: residual error {e3}");
+    }
+}
+
+#[test]
+fn scaling_preserves_exact_ranking_when_probs_small() {
+    // With already-small probabilities, further scaling barely perturbs the
+    // exact ranking (Result 7).
+    use lapushdb::rank::average_precision_at_k;
+    for seed in 0..5u64 {
+        let q = parse_query("q(z) :- R(z, x), S(x, y), T(y)").unwrap();
+        let db = random_db_for_query(&q, seed + 900, 12, 6, 0.2).unwrap();
+        let gt = exact_answers(&db, &q).unwrap();
+        if gt.len() < 3 {
+            continue;
+        }
+        let mut scaled = db.clone();
+        scaled.scale_probs(0.25);
+        let gt_scaled = exact_answers(&scaled, &q).unwrap();
+
+        // Align answers.
+        let keys: Vec<_> = gt.rows.keys().cloned().collect();
+        let sys: Vec<f64> = keys.iter().map(|k| gt_scaled.score_of(k)).collect();
+        let base: Vec<f64> = keys.iter().map(|k| gt.score_of(k)).collect();
+        let ap = average_precision_at_k(&sys, &base, 10.min(keys.len()));
+        assert!(ap > 0.9, "seed {seed}: AP {ap}");
+    }
+}
