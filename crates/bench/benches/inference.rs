@@ -21,9 +21,11 @@ fn bench_methods_by_lineage(c: &mut Criterion) {
                     .len()
             })
         });
-        g.bench_with_input(BenchmarkId::new("lineage_build", degree), &degree, |b, _| {
-            b.iter(|| build_lineage(&db, &q).expect("lineage").total_size())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lineage_build", degree),
+            &degree,
+            |b, _| b.iter(|| build_lineage(&db, &q).expect("lineage").total_size()),
+        );
         let lin = build_lineage(&db, &q).expect("lineage");
         g.bench_with_input(BenchmarkId::new("exact_wmc", degree), &degree, |b, _| {
             b.iter(|| {

@@ -11,7 +11,11 @@ use lapushdb::prelude::*;
 use lapushdb::query::{VarFd, VarSet};
 
 /// (label, query text, optional FD as (lhs var, rhs var)).
-type Case = (&'static str, &'static str, Option<(&'static str, &'static str)>);
+type Case = (
+    &'static str,
+    &'static str,
+    Option<(&'static str, &'static str)>,
+);
 
 fn main() {
     let cases: Vec<Case> = vec![
@@ -62,7 +66,11 @@ fn main() {
             none.to_string(),
             dr.to_string(),
             full.to_string(),
-            if full == 1 { "SAFE".into() } else { "-".to_string() },
+            if full == 1 {
+                "SAFE".into()
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     print_table(

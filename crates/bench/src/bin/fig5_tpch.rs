@@ -12,8 +12,7 @@ use lapush_bench::{arg, flag, ms, print_table, scale, time, Scale};
 use lapushdb::prelude::*;
 use lapushdb::workload::{tpch_db, tpch_query, TpchConfig};
 use lapushdb::{
-    exact_answers_bounded, lineage_stats, mc_answers, rank_by_dissociation, OptLevel,
-    RankOptions,
+    exact_answers_bounded, lineage_stats, mc_answers, rank_by_dissociation, OptLevel, RankOptions,
 };
 
 fn main() {

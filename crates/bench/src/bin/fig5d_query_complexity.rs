@@ -10,11 +10,13 @@ use lapushdb::prelude::*;
 use lapushdb::workload::{chain_db, chain_query, find_chain_domain};
 
 fn main() {
-    let n: usize = arg("n").and_then(|s| s.parse().ok()).unwrap_or(match scale() {
-        Scale::Quick => 1_000,
-        Scale::Normal => 10_000,
-        Scale::Full => 100_000,
-    });
+    let n: usize = arg("n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(match scale() {
+            Scale::Quick => 1_000,
+            Scale::Normal => 10_000,
+            Scale::Full => 100_000,
+        });
     let kmax: usize = arg("kmax").and_then(|s| s.parse().ok()).unwrap_or(8);
     println!("tuples per table: {n}");
 

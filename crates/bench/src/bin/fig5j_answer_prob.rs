@@ -20,7 +20,14 @@ fn main() {
     // Buckets over avg[pa] (the paper uses a log-like scale toward 1).
     let edges = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0001];
     let labels = ["<0.5", "0.5-0.9", "0.9-0.99", "0.99-0.999", ">0.999"];
-    let methods = ["dissociation", "lineage", "MC(10)", "MC(100)", "MC(1k)", "MC(10k)"];
+    let methods = [
+        "dissociation",
+        "lineage",
+        "MC(10)",
+        "MC(100)",
+        "MC(1k)",
+        "MC(10k)",
+    ];
     let mut acc: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); labels.len()]; methods.len()];
 
     for rep in 0..runs {
@@ -72,7 +79,9 @@ fn main() {
     }
     print_table(
         "Figure 5j: MAP@10 by avg[pa] of the top-10 answers",
-        &["method", labels[0], labels[1], labels[2], labels[3], labels[4]],
+        &[
+            "method", labels[0], labels[1], labels[2], labels[3], labels[4],
+        ],
         &rows,
     );
     println!("\nExpected shape: MC decays toward the random baseline (0.22)");

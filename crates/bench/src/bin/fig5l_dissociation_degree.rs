@@ -10,9 +10,9 @@
 
 use lapush_bench::{ap_against, controlled_rst_db, print_table, scale, Scale};
 use lapushdb::core::{delta_of_plan, minimal_plans};
+use lapushdb::exact_answers;
 use lapushdb::prelude::*;
 use lapushdb::rank::mean_std;
-use lapushdb::exact_answers;
 
 fn main() {
     let (repeats, answers) = match scale() {
@@ -29,8 +29,7 @@ fn main() {
         for &d in &degrees {
             let mut aps = Vec::new();
             for rep in 0..repeats {
-                let (db, q) =
-                    controlled_rst_db(answers, 3, d, 2.0 * avg_pi, 700 + rep as u64);
+                let (db, q) = controlled_rst_db(answers, 3, d, 2.0 * avg_pi, 700 + rep as u64);
                 let shape = QueryShape::of_query(&q);
                 let plans = minimal_plans(&shape);
                 // Pick the plan that dissociates R (atom 0) on y.

@@ -31,8 +31,7 @@ fn main() {
             let mut diss_aps = Vec::new();
             let mut mc_aps: Vec<Vec<f64>> = vec![Vec::new(); mc_budgets.len()];
             for rep in 0..repeats {
-                let (db, q) =
-                    controlled_rst_db(answers, 3, d, 2.0 * avg_pi, 900 + rep as u64);
+                let (db, q) = controlled_rst_db(answers, 3, d, 2.0 * avg_pi, 900 + rep as u64);
                 let gt = exact_answers(&db, &q).expect("exact");
                 // Per-plan quality: the R-dissociating plan (avg[d] = d).
                 let shape = QueryShape::of_query(&q);

@@ -25,8 +25,7 @@ fn main() {
             let mut aps = Vec::new();
             for rep in 0..repeats {
                 // avg[d] ≈ 3 as in the paper's setup for this experiment.
-                let (db, q) =
-                    controlled_rst_db(answers, 3, 3, 2.0 * avg_pi, 1100 + rep as u64);
+                let (db, q) = controlled_rst_db(answers, 3, 3, 2.0 * avg_pi, 1100 + rep as u64);
                 let gt = exact_answers(&db, &q).expect("exact");
                 let mut scaled = db.clone();
                 scaled.scale_probs(f);

@@ -48,7 +48,12 @@ fn main() {
         "Figure 5o: MAP@10 decomposition",
         &["ranking signal", "MAP@10", "increment", "paper"],
         &[
-            vec!["random baseline".into(), format!("{random:.3}"), "-".into(), "0.220".into()],
+            vec![
+                "random baseline".into(),
+                format!("{random:.3}"),
+                "-".into(),
+                "0.220".into(),
+            ],
             vec![
                 "lineage size".into(),
                 format!("{lin_m:.3}"),

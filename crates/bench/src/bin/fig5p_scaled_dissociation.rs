@@ -63,7 +63,11 @@ fn main() {
         .chain(factors.iter().map(|f| format!("f={f}")))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table("Figure 5p: scaling and dissociation quality", &header_refs, &rows);
+    print_table(
+        "Figure 5p: scaling and dissociation quality",
+        &header_refs,
+        &rows,
+    );
     println!("\nExpected shape: 'scaled-diss vs scaled-GT' → 1 as f → 0");
     println!("(Prop. 21); 'scaled-diss vs GT' approaches 'scaled-GT vs GT'");
     println!("from above — i.e. dissociation under heavy scaling degrades to");

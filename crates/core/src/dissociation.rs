@@ -31,10 +31,7 @@ impl Dissociation {
 
     /// Pointwise-subset partial order `Δ ⪯ Δ′` (Definition 15).
     pub fn leq(&self, other: &Dissociation) -> bool {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| a.is_subset(*b))
+        self.0.iter().zip(&other.0).all(|(a, b)| a.is_subset(*b))
     }
 
     /// The probabilistic preorder `⪯_p` (Section 3.3.1): compare only on
@@ -95,11 +92,7 @@ impl Dissociation {
 pub fn candidates(shape: &QueryShape) -> Vec<VarSet> {
     let atoms = shape.all_atoms();
     let evar = shape.existential_of(&atoms, shape.head);
-    shape
-        .atom_vars
-        .iter()
-        .map(|&av| evar.minus(av))
-        .collect()
+    shape.atom_vars.iter().map(|&av| evar.minus(av)).collect()
 }
 
 /// Number of dissociations of the query: `2^K` with
@@ -127,12 +120,7 @@ pub fn all_dissociations(shape: &QueryShape, max_exp: u32) -> Option<Vec<Dissoci
     Some(out)
 }
 
-fn enum_rec(
-    cands: &[VarSet],
-    i: usize,
-    current: &mut Dissociation,
-    out: &mut Vec<Dissociation>,
-) {
+fn enum_rec(cands: &[VarSet], i: usize, current: &mut Dissociation, out: &mut Vec<Dissociation>) {
     if i == cands.len() {
         out.push(current.clone());
         return;

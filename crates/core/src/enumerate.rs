@@ -176,12 +176,7 @@ fn mp_rec(ctx: &Ctx<'_>, atoms: &[usize], head: VarSet) -> Vec<Plan> {
     }
 }
 
-fn cartesian_join(
-    per_comp: &[Vec<Plan>],
-    i: usize,
-    acc: &mut Vec<Plan>,
-    out: &mut Vec<Plan>,
-) {
+fn cartesian_join(per_comp: &[Vec<Plan>], i: usize, acc: &mut Vec<Plan>, out: &mut Vec<Plan>) {
     if i == per_comp.len() {
         out.push(Plan::join(acc.clone()));
         return;

@@ -40,8 +40,7 @@ pub use dissociation::{
     all_dissociations, count_dissociations, naive_minimal_safe_dissociations, Dissociation,
 };
 pub use enumerate::{
-    all_plans, count_all_plans, count_minimal_plans, minimal_plans, minimal_plans_opts,
-    EnumOptions,
+    all_plans, count_all_plans, count_minimal_plans, minimal_plans, minimal_plans_opts, EnumOptions,
 };
 pub use opt::{shared_subqueries, single_plan, SubqueryKey};
 pub use plan::{delta_of_plan, plan_for_dissociation, safe_plan, Plan, PlanKind};

@@ -40,7 +40,13 @@ pub fn single_plan_with(shape: &QueryShape, fds: &[VarFd], opts: EnumOptions) ->
         shape.clone()
     };
     let atoms = enum_shape.all_atoms();
-    sp_rec(&enum_shape, shape, opts.use_deterministic, &atoms, enum_shape.head)
+    sp_rec(
+        &enum_shape,
+        shape,
+        opts.use_deterministic,
+        &atoms,
+        enum_shape.head,
+    )
 }
 
 fn sp_rec(

@@ -329,10 +329,7 @@ mod tests {
             VarSet::single(x),
             Plan::join(vec![Plan::scan(&s, 1), Plan::scan(&s, 2)]),
         );
-        let p2 = Plan::project(
-            VarSet::EMPTY,
-            Plan::join(vec![Plan::scan(&s, 0), inner]),
-        );
+        let p2 = Plan::project(VarSet::EMPTY, Plan::join(vec![Plan::scan(&s, 0), inner]));
         let d2 = delta_of_plan(&p2, &s).unwrap();
         assert_eq!(
             d2,
@@ -428,10 +425,10 @@ mod tests {
     #[test]
     fn min_dedups_and_unwraps() {
         let (_, s) = setup("q :- R(x), S(x)");
-        let p1 = Plan::project(VarSet::EMPTY, Plan::join(vec![
-            Plan::scan(&s, 0),
-            Plan::scan(&s, 1),
-        ]));
+        let p1 = Plan::project(
+            VarSet::EMPTY,
+            Plan::join(vec![Plan::scan(&s, 0), Plan::scan(&s, 1)]),
+        );
         let m = Plan::min_of(vec![p1.clone(), p1.clone()]);
         assert_eq!(m, p1);
         assert!(!m.has_min());

@@ -186,9 +186,8 @@ fn eval_node(
     skip_cache_here: bool,
 ) -> Result<Rel, ExecError> {
     let key = (plan.atoms_mask, plan.head);
-    let cacheable = opts.reuse_views
-        && !skip_cache_here
-        && !matches!(plan.kind, PlanKind::Scan { .. });
+    let cacheable =
+        opts.reuse_views && !skip_cache_here && !matches!(plan.kind, PlanKind::Scan { .. });
     if cacheable {
         if let Some(hit) = cache.get(&key) {
             return Ok(hit.clone());

@@ -270,7 +270,10 @@ mod tests {
 
     #[test]
     fn project_prob_independent_or() {
-        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.5), (&[2, 12], 0.3)]);
+        let r = rel(
+            &[0, 1],
+            &[(&[1, 10], 0.5), (&[1, 11], 0.5), (&[2, 12], 0.3)],
+        );
         let p = project_prob(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
         let k1: Box<[Value]> = [Value::Int(1)].into();
@@ -321,7 +324,10 @@ mod tests {
 
     #[test]
     fn project_max_keeps_best_per_group() {
-        let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.8), (&[2, 12], 0.3)]);
+        let r = rel(
+            &[0, 1],
+            &[(&[1, 10], 0.5), (&[1, 11], 0.8), (&[2, 12], 0.3)],
+        );
         let p = project_max(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
         let k1: Box<[Value]> = [Value::Int(1)].into();

@@ -44,10 +44,7 @@ pub fn reduce_database(db: &Database, q: &Query) -> Database {
     // Build the reduced database.
     let mut out = Database::new();
     for (_, rel) in db.relations() {
-        let atom_idx = q
-            .atoms()
-            .iter()
-            .position(|a| a.relation == rel.name());
+        let atom_idx = q.atoms().iter().position(|a| a.relation == rel.name());
         let mut new_rel = if rel.is_deterministic() {
             lapush_storage::Relation::deterministic(rel.name(), rel.arity())
         } else {
@@ -74,7 +71,8 @@ pub fn reduce_database(db: &Database, q: &Query) -> Database {
                 }
             }
         }
-        out.add_relation(new_rel).expect("names unique in source db");
+        out.add_relation(new_rel)
+            .expect("names unique in source db");
     }
     out
 }
@@ -229,8 +227,7 @@ mod tests {
         let plans = minimal_plans(&s);
         let full = crate::exec::propagation_score(&db, &q, &plans, Default::default()).unwrap();
         let red = reduce_database(&db, &q);
-        let reduced =
-            crate::exec::propagation_score(&red, &q, &plans, Default::default()).unwrap();
+        let reduced = crate::exec::propagation_score(&red, &q, &plans, Default::default()).unwrap();
         assert_eq!(full.len(), reduced.len());
         for (k, &v) in &full.rows {
             assert!((reduced.score_of(k) - v).abs() < 1e-12);

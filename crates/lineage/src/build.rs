@@ -234,13 +234,7 @@ fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
         .vars
         .iter()
         .enumerate()
-        .filter_map(|(li, v)| {
-            right
-                .vars
-                .iter()
-                .position(|u| u == v)
-                .map(|ri| (li, ri))
-        })
+        .filter_map(|(li, v)| right.vars.iter().position(|u| u == v).map(|ri| (li, ri)))
         .collect();
     let right_only: Vec<usize> = (0..right.vars.len())
         .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))

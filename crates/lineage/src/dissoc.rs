@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn upper_bound_holds_on_crafted_formulas() {
         let cases = vec![
-            (Dnf::new([vec![0, 1], vec![1, 2], vec![2, 0]]), vec![0.3, 0.6, 0.8]),
+            (
+                Dnf::new([vec![0, 1], vec![1, 2], vec![2, 0]]),
+                vec![0.3, 0.6, 0.8],
+            ),
             (
                 Dnf::new([vec![0, 1, 2], vec![2, 3], vec![0, 3]]),
                 vec![0.2, 0.9, 0.5, 0.4],

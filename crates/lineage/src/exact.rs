@@ -260,11 +260,7 @@ mod tests {
         // Lineage of Example 17: 83/512 (verified by inclusion-exclusion in
         // the paper).
         // Vars: R1=0,S1=1,T11=2,U1=3,T12=4,U2=5,R2=6,S2=7,T22=8.
-        let f = Dnf::new([
-            vec![0, 1, 2, 3],
-            vec![0, 1, 4, 5],
-            vec![6, 7, 8, 5],
-        ]);
+        let f = Dnf::new([vec![0, 1, 2, 3], vec![0, 1, 4, 5], vec![6, 7, 8, 5]]);
         let probs = [0.5; 9];
         assert!((exact_prob(&f, &probs) - 83.0 / 512.0).abs() < 1e-12);
     }

@@ -64,7 +64,11 @@ impl Dnf {
 
     /// The set of distinct variables, sorted.
     pub fn vars(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.implicants.iter().flat_map(|i| i.iter().copied()).collect();
+        let mut v: Vec<u32> = self
+            .implicants
+            .iter()
+            .flat_map(|i| i.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -96,7 +100,8 @@ impl Dnf {
             *imp = v.into_boxed_slice();
         }
         // Shorter implicants first so absorption is a single forward pass.
-        self.implicants.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+        self.implicants
+            .sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
         self.implicants.dedup();
         let mut kept: Vec<Box<[u32]>> = Vec::with_capacity(self.implicants.len());
         'outer: for imp in std::mem::take(&mut self.implicants) {

@@ -147,10 +147,7 @@ mod tests {
         let probs = vec![1e-4, 1e-4, 1e-4, 1e-4];
         let truth = brute_force_prob(&f, &probs);
         let kl = karp_luby(&f, &probs, 10_000, 1);
-        assert!(
-            (kl - truth).abs() / truth < 0.05,
-            "kl {kl} truth {truth}"
-        );
+        assert!((kl - truth).abs() / truth < 0.05, "kl {kl} truth {truth}");
         let mc = monte_carlo(&f, &probs, 10_000, 1);
         assert_eq!(mc, 0.0); // naive sees no satisfied world
     }

@@ -183,7 +183,10 @@ impl Query {
                 return Err(QueryError::SelfJoin(a.relation.clone()));
             }
         }
-        let body_vars: VarSet = atoms.iter().map(Atom::var_set).fold(VarSet::EMPTY, VarSet::union);
+        let body_vars: VarSet = atoms
+            .iter()
+            .map(Atom::var_set)
+            .fold(VarSet::EMPTY, VarSet::union);
         for &h in &head {
             if !body_vars.contains(h) {
                 return Err(QueryError::UnboundHeadVar(var_names[h.0 as usize].clone()));

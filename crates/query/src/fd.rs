@@ -122,10 +122,7 @@ mod tests {
             rhs: VarSet::single(v(2)),
         }];
         assert_eq!(var_closure(VarSet::single(v(0)), &fds).len(), 1);
-        assert_eq!(
-            var_closure(VarSet::from_iter([v(0), v(1)]), &fds).len(),
-            3
-        );
+        assert_eq!(var_closure(VarSet::from_iter([v(0), v(1)]), &fds).len(), 3);
     }
 
     #[test]

@@ -338,10 +338,7 @@ mod tests {
     #[test]
     fn parse_constants() {
         let q = parse_query("q :- R('a', x), S(x, 3)").unwrap();
-        assert_eq!(
-            q.atoms()[0].terms[0],
-            Term::Const(Value::str("a"))
-        );
+        assert_eq!(q.atoms()[0].terms[0], Term::Const(Value::str("a")));
         assert_eq!(q.atoms()[1].terms[1], Term::Const(Value::Int(3)));
     }
 

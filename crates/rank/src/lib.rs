@@ -204,7 +204,10 @@ mod tests {
             acc += ts.iter().filter(|i| tg.contains(i)).count() as f64;
         }
         let sim = acc / trials as f64;
-        assert!((analytic - sim).abs() < 0.01, "analytic {analytic} sim {sim}");
+        assert!(
+            (analytic - sim).abs() < 0.01,
+            "analytic {analytic} sim {sim}"
+        );
     }
 
     #[test]

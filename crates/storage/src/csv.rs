@@ -93,11 +93,7 @@ fn parse_cell(cell: &str) -> Value {
 }
 
 /// Parse a relation from delimited text.
-pub fn relation_from_text(
-    name: &str,
-    text: &str,
-    opts: CsvOptions,
-) -> Result<Relation, CsvError> {
+pub fn relation_from_text(name: &str, text: &str, opts: CsvOptions) -> Result<Relation, CsvError> {
     let mut rel: Option<Relation> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -108,13 +104,10 @@ pub fn relation_from_text(
         let cells: Vec<&str> = line.split(sep).collect();
         let (value_cells, prob) = if opts.prob_column {
             let (last, rest) = cells.split_last().expect("non-empty line");
-            let p: f64 = last
-                .trim()
-                .parse()
-                .map_err(|_| CsvError::BadProbability {
-                    line: lineno + 1,
-                    cell: last.trim().to_string(),
-                })?;
+            let p: f64 = last.trim().parse().map_err(|_| CsvError::BadProbability {
+                line: lineno + 1,
+                cell: last.trim().to_string(),
+            })?;
             (rest, p)
         } else {
             (&cells[..], 1.0)

@@ -346,13 +346,7 @@ mod tests {
         r.push(tuple([2, 1]), 0.5).unwrap();
         r.push(tuple([1, 1]), 0.5).unwrap();
         r.push(tuple([2, 3]), 0.5).unwrap();
-        assert_eq!(
-            r.column_domain(0),
-            vec![Value::Int(1), Value::Int(2)],
-        );
-        assert_eq!(
-            r.column_domain(1),
-            vec![Value::Int(1), Value::Int(3)],
-        );
+        assert_eq!(r.column_domain(0), vec![Value::Int(1), Value::Int(2)],);
+        assert_eq!(r.column_domain(1), vec![Value::Int(1), Value::Int(3)],);
     }
 }

@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("mckellen", 0.8),
         ("hauer", 0.4),
     ] {
-        db.relation_mut(won)
-            .push(Box::new([Value::str(a)]), p)?;
+        db.relation_mut(won).push(Box::new([Value::str(a)]), p)?;
     }
 
     // "Which directors made a movie starring an award winner?" — the

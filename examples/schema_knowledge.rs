@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .push(Box::new([Value::Int(s), Value::Int(r)]), p)?;
     }
     for r in [10, 11, 12] {
-        db.relation_mut(rooms).push_certain(Box::new([Value::Int(r)]))?;
+        db.relation_mut(rooms)
+            .push_certain(Box::new([Value::Int(r)]))?;
     }
 
     // "Is some working sensor placed in some room?" — the R(x),S(x,y),T(y)
@@ -59,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             use_fds: false,
         },
     );
-    println!("\nwith deterministic-relation knowledge: {} plan", plans_dr.len());
+    println!(
+        "\nwith deterministic-relation knowledge: {} plan",
+        plans_dr.len()
+    );
     for p in &plans_dr {
         println!("  {}", p.render(&q));
     }
@@ -93,7 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (r, p) in [(10, 0.6), (12, 0.5)] {
         db2.relation_mut(r2).push(Box::new([Value::Int(r)]), p)?;
     }
-    db2.relation_by_name_mut("Placed")?.add_fd(Fd::new([0], [1]))?;
+    db2.relation_by_name_mut("Placed")?
+        .add_fd(Fd::new([0], [1]))?;
     assert!(db2
         .relation_by_name("Placed")?
         .satisfies_fd(&Fd::new([0], [1])));

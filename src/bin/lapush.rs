@@ -73,9 +73,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             print_answers(&ans, None);
         }
         "mc" => {
-            let samples: usize = arg("samples")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1000);
+            let samples: usize = arg("samples").and_then(|s| s.parse().ok()).unwrap_or(1000);
             let ans = mc_answers(&db, &q, samples, 42)?;
             print_answers(&ans, None);
         }

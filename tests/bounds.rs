@@ -159,8 +159,12 @@ fn fd_knowledge_preserves_rho_when_fd_holds() {
     let s = db.create_relation("S", 2).unwrap();
     let t = db.create_relation("T", 1).unwrap();
     for x in [1, 2, 3] {
-        db.relation_mut(r).push(Box::new([Value::Int(x)]), 0.4).unwrap();
-        db.relation_mut(t).push(Box::new([Value::Int(x)]), 0.7).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), 0.4)
+            .unwrap();
+        db.relation_mut(t)
+            .push(Box::new([Value::Int(x)]), 0.7)
+            .unwrap();
         // x → y: exactly one y per x.
         db.relation_mut(s)
             .push(Box::new([Value::Int(x), Value::Int(x % 2 + 1)]), 0.5)

@@ -38,7 +38,11 @@ pub fn materialize_dissociation(
 
     let mut new_db = Database::new();
     let mut builder = QueryBuilder::new(q.name());
-    let head_names: Vec<String> = q.head().iter().map(|&v| q.var_name(v).to_string()).collect();
+    let head_names: Vec<String> = q
+        .head()
+        .iter()
+        .map(|&v| q.var_name(v).to_string())
+        .collect();
     let head_refs: Vec<&str> = head_names.iter().map(String::as_str).collect();
     builder = builder.head(&head_refs);
 

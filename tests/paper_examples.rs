@@ -13,8 +13,12 @@ fn example_7_and_9() {
     let mut db = Database::new();
     let r = db.create_relation("R", 1).unwrap();
     let s = db.create_relation("S", 2).unwrap();
-    db.relation_mut(r).push(Box::new([Value::Int(1)]), 0.5).unwrap();
-    db.relation_mut(r).push(Box::new([Value::Int(2)]), 0.5).unwrap();
+    db.relation_mut(r)
+        .push(Box::new([Value::Int(1)]), 0.5)
+        .unwrap();
+    db.relation_mut(r)
+        .push(Box::new([Value::Int(2)]), 0.5)
+        .unwrap();
     db.relation_mut(s)
         .push(Box::new([Value::Int(1), Value::Int(4)]), 0.5)
         .unwrap();
@@ -58,9 +62,15 @@ fn example_17_numbers() {
     let t = db.create_relation("T", 2).unwrap();
     let u = db.create_relation("U", 1).unwrap();
     for x in [1, 2] {
-        db.relation_mut(r).push(Box::new([Value::Int(x)]), 0.5).unwrap();
-        db.relation_mut(s).push(Box::new([Value::Int(x)]), 0.5).unwrap();
-        db.relation_mut(u).push(Box::new([Value::Int(x)]), 0.5).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
+        db.relation_mut(s)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
+        db.relation_mut(u)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
     }
     for (x, y) in [(1, 1), (1, 2), (2, 2)] {
         db.relation_mut(t)
@@ -97,7 +107,9 @@ fn example_23_deterministic_relation() {
     let s = db.create_relation("S", 2).unwrap();
     let t = db.create_deterministic("T", 1).unwrap();
     for x in [1, 2, 3] {
-        db.relation_mut(r).push(Box::new([Value::Int(x)]), 0.6).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), 0.6)
+            .unwrap();
     }
     for (x, y) in [(1, 1), (1, 2), (2, 2), (3, 1)] {
         db.relation_mut(s)
@@ -105,7 +117,9 @@ fn example_23_deterministic_relation() {
             .unwrap();
     }
     for y in [1, 2] {
-        db.relation_mut(t).push_certain(Box::new([Value::Int(y)])).unwrap();
+        db.relation_mut(t)
+            .push_certain(Box::new([Value::Int(y)]))
+            .unwrap();
     }
     let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
     let schema = SchemaInfo::from_db(&q, &db);

@@ -16,7 +16,9 @@ fn fanout_db() -> (Database, Query) {
     let s = db.create_deterministic("S", 2).unwrap();
     let t = db.create_deterministic("T", 1).unwrap();
     for (x, p) in [(1, 0.5), (2, 0.7)] {
-        db.relation_mut(r).push(Box::new([Value::Int(x)]), p).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), p)
+            .unwrap();
     }
     // x = 1 pairs with two certain y's: the fan-out that breaks the naive
     // flat-join plan.
@@ -26,7 +28,9 @@ fn fanout_db() -> (Database, Query) {
             .unwrap();
     }
     for y in [10, 11, 12] {
-        db.relation_mut(t).push_certain(Box::new([Value::Int(y)])).unwrap();
+        db.relation_mut(t)
+            .push_certain(Box::new([Value::Int(y)]))
+            .unwrap();
     }
     let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
     (db, q)
@@ -114,7 +118,12 @@ fn all_probabilistic_flat_stop_rule_matches_paper_form() {
 #[test]
 fn schema_aware_driver_is_exact_on_safe_with_dr_query() {
     let (db, q) = fanout_db();
-    for opt in [OptLevel::MultiPlan, OptLevel::Opt1, OptLevel::Opt12, OptLevel::Opt123] {
+    for opt in [
+        OptLevel::MultiPlan,
+        OptLevel::Opt1,
+        OptLevel::Opt12,
+        OptLevel::Opt123,
+    ] {
         let rho = rank_by_dissociation(
             &db,
             &q,
@@ -142,7 +151,9 @@ fn fd_chase_composes_with_dr_knowledge() {
     let c = db.create_relation("C", 2).unwrap();
     let d = db.create_deterministic("D", 1).unwrap();
     for x in [1, 2] {
-        db.relation_mut(a).push(Box::new([Value::Int(x)]), 0.6).unwrap();
+        db.relation_mut(a)
+            .push(Box::new([Value::Int(x)]), 0.6)
+            .unwrap();
         // FD x→y holds: one y per x.
         db.relation_mut(b)
             .push(Box::new([Value::Int(x), Value::Int(x * 10)]), 0.5)
@@ -154,7 +165,9 @@ fn fd_chase_composes_with_dr_knowledge() {
             .unwrap();
     }
     for z in [100, 101] {
-        db.relation_mut(d).push_certain(Box::new([Value::Int(z)])).unwrap();
+        db.relation_mut(d)
+            .push_certain(Box::new([Value::Int(z)]))
+            .unwrap();
     }
     db.relation_by_name_mut("B")
         .unwrap()

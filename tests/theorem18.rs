@@ -52,9 +52,15 @@ fn theorem18_on_paper_examples() {
     let t = db.create_relation("T", 2).unwrap();
     let u = db.create_relation("U", 1).unwrap();
     for x in [1, 2] {
-        db.relation_mut(r).push(Box::new([Value::Int(x)]), 0.5).unwrap();
-        db.relation_mut(s).push(Box::new([Value::Int(x)]), 0.5).unwrap();
-        db.relation_mut(u).push(Box::new([Value::Int(x)]), 0.5).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
+        db.relation_mut(s)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
+        db.relation_mut(u)
+            .push(Box::new([Value::Int(x)]), 0.5)
+            .unwrap();
     }
     for (x, y) in [(1, 1), (1, 2), (2, 2)] {
         db.relation_mut(t)
@@ -69,8 +75,8 @@ fn theorem18_on_paper_examples() {
 fn theorem18_on_random_boolean_queries() {
     for seed in 0..25u64 {
         let q = random_query(seed, 2 + (seed % 3) as usize, 4);
-        let db = random_db_for_query(&q, seed.wrapping_mul(31) + 1, 4, 3, 1.0)
-            .expect("db generation");
+        let db =
+            random_db_for_query(&q, seed.wrapping_mul(31) + 1, 4, 3, 1.0).expect("db generation");
         check_query_on_db(&q, &db, 1e-9);
     }
 }

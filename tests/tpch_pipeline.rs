@@ -76,7 +76,10 @@ fn mc_needs_many_samples_to_match_dissociation() {
     // MC improves with samples; dissociation at least matches MC(3k)
     // (Result 3: dissociation > MC > lineage).
     assert!(ap_mc3k > ap_mc10, "MC(3k) {ap_mc3k} vs MC(10) {ap_mc10}");
-    assert!(ap_diss >= ap_mc3k - 0.05, "diss {ap_diss} vs MC(3k) {ap_mc3k}");
+    assert!(
+        ap_diss >= ap_mc3k - 0.05,
+        "diss {ap_diss} vs MC(3k) {ap_mc3k}"
+    );
 }
 
 #[test]
