@@ -10,48 +10,77 @@
 //! lists the OEIS sequences A001003/A000670 instead, which count only
 //! contiguous join groupings — see EXPERIMENTS.md for the analysis.
 
-use lapush_bench::print_table;
+use lapush_bench::report::Metric;
+use lapush_bench::{checksum_strings, print_table, Bench};
 use lapushdb::core::{count_all_plans, count_dissociations, count_minimal_plans};
 use lapushdb::prelude::*;
 use lapushdb::workload::{chain_query, star_query};
 
 fn main() {
+    let mut bench = Bench::new("fig2_counts");
+
     let paper_chain_p = [1u128, 3, 11, 45, 197, 903, 4279];
-    let mut rows = Vec::new();
-    for k in 2..=8usize {
-        let q = chain_query(k);
-        let s = QueryShape::of_query(&q);
-        rows.push(vec![
-            k.to_string(),
-            count_minimal_plans(&s).to_string(),
-            count_all_plans(&s).to_string(),
-            paper_chain_p[k - 2].to_string(),
-            count_dissociations(&s).to_string(),
-        ]);
+    let chain_rows = bench.time("count_chains", || {
+        let mut rows = Vec::new();
+        for k in 2..=8usize {
+            let q = chain_query(k);
+            let s = QueryShape::of_query(&q);
+            rows.push(vec![
+                k.to_string(),
+                count_minimal_plans(&s).to_string(),
+                count_all_plans(&s).to_string(),
+                paper_chain_p[k - 2].to_string(),
+                count_dissociations(&s).to_string(),
+            ]);
+        }
+        rows
+    });
+    for row in &chain_rows {
+        bench.push(Metric::value(
+            format!("chain_k{}_min_plans", row[0]),
+            row[1].parse().expect("count"),
+        ));
     }
+    bench.push(
+        Metric::value("chain_table_rows", chain_rows.len() as f64)
+            .with_checksum(checksum_strings(chain_rows.iter().map(|r| r.join("|")))),
+    );
     print_table(
         "Figure 2 (left): k-chain queries",
         &["k", "#MP", "#P ours", "#P paper", "#Δ"],
-        &rows,
+        &chain_rows,
     );
 
     let paper_star_p = [1u128, 3, 13, 75, 541, 4683, 47293];
-    let mut rows = Vec::new();
-    for k in 1..=7usize {
-        let q = star_query(k);
-        let s = QueryShape::of_query(&q);
-        rows.push(vec![
-            k.to_string(),
-            count_minimal_plans(&s).to_string(),
-            count_all_plans(&s).to_string(),
-            paper_star_p[k - 1].to_string(),
-            count_dissociations(&s).to_string(),
-        ]);
+    let star_rows = bench.time("count_stars", || {
+        let mut rows = Vec::new();
+        for k in 1..=7usize {
+            let q = star_query(k);
+            let s = QueryShape::of_query(&q);
+            rows.push(vec![
+                k.to_string(),
+                count_minimal_plans(&s).to_string(),
+                count_all_plans(&s).to_string(),
+                paper_star_p[k - 1].to_string(),
+                count_dissociations(&s).to_string(),
+            ]);
+        }
+        rows
+    });
+    for row in &star_rows {
+        bench.push(Metric::value(
+            format!("star_k{}_min_plans", row[0]),
+            row[1].parse().expect("count"),
+        ));
     }
+    bench.push(
+        Metric::value("star_table_rows", star_rows.len() as f64)
+            .with_checksum(checksum_strings(star_rows.iter().map(|r| r.join("|")))),
+    );
     print_table(
         "Figure 2 (right): k-star queries",
         &["k", "#MP", "#P ours", "#P paper", "#Δ"],
-        &rows,
+        &star_rows,
     );
 
     println!("\n#MP matches the paper exactly (A000108 / k!).");
@@ -59,4 +88,5 @@ fn main() {
     println!("#P: ours counts every hierarchical dissociation (Def. 10/13),");
     println!("cross-checked by brute force for small k; the paper lists");
     println!("A001003/A000670, which undercount (see EXPERIMENTS.md).");
+    bench.finish();
 }

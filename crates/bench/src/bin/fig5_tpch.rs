@@ -8,7 +8,11 @@
 //! (`--param2` one of: red-green | red | any; `--by-lineage` prints the
 //! Fig. 5h view keyed by max lineage size.)
 
-use lapush_bench::{arg, flag, ms, print_table, scale, time, Scale};
+use lapush_bench::measure::MeasureSpec;
+use lapush_bench::report::Metric;
+use lapush_bench::{
+    arg, checksum_answers, flag, measure, ms, print_table, scale, time, Bench, Scale,
+};
 use lapushdb::prelude::*;
 use lapushdb::workload::{tpch_db, tpch_query, TpchConfig};
 use lapushdb::{
@@ -16,7 +20,8 @@ use lapushdb::{
 };
 
 fn main() {
-    let param2 = match arg("param2").unwrap_or_else(|| "red-green".into()).as_str() {
+    let param2_name = arg("param2").unwrap_or_else(|| "red-green".into());
+    let param2 = match param2_name.as_str() {
         "red-green" => "%red%green%",
         "red" => "%red%",
         "any" => "%",
@@ -27,6 +32,12 @@ fn main() {
         Scale::Normal => (500, 10_000),
         Scale::Full => (2_000, 40_000),
     };
+
+    let mut bench = Bench::new(&format!("fig5_tpch_{}", param2_name.replace('-', "_")));
+    bench.param("param2", param2);
+    bench.param("suppliers", suppliers);
+    bench.param("parts", parts);
+
     let cfg = TpchConfig {
         suppliers,
         parts,
@@ -60,8 +71,10 @@ fn main() {
     for &p1 in &sweep {
         let q = tpch_query(p1, param2);
 
-        let (_, t_sql) = time(|| deterministic_answers(&db, &q).expect("sql"));
-        let (diss, t_diss) = time(|| {
+        let t_sql = measure::run(bench.spec(), || {
+            deterministic_answers(&db, &q).expect("sql")
+        });
+        let t_diss = measure::run(bench.spec(), || {
             rank_by_dissociation(
                 &db,
                 &q,
@@ -72,7 +85,7 @@ fn main() {
             )
             .expect("diss")
         });
-        let (_, t_diss3) = time(|| {
+        let t_diss3 = measure::run(bench.spec(), || {
             rank_by_dissociation(
                 &db,
                 &q,
@@ -83,27 +96,65 @@ fn main() {
             )
             .expect("diss+opt3")
         });
-        let ((_, max_lin), t_lin) = time(|| lineage_stats(&db, &q).expect("lineage"));
+        let t_lin = measure::run(bench.spec(), || lineage_stats(&db, &q).expect("lineage"));
+        let max_lin = t_lin.value.1;
+        let diss = &t_diss.value;
+        bench.push(
+            Metric::timing(format!("sql_p{p1}"), t_sql.samples_ms.clone())
+                .with_value(t_sql.value.len() as f64),
+        );
+        bench.push(
+            Metric::timing(format!("diss_p{p1}"), t_diss.samples_ms.clone())
+                .with_value(diss.len() as f64)
+                .with_checksum(checksum_answers(diss)),
+        );
+        bench.push(
+            Metric::timing(format!("diss_opt3_p{p1}"), t_diss3.samples_ms.clone())
+                .with_value(t_diss3.value.len() as f64),
+        );
+        bench.push(
+            Metric::timing(format!("lineage_p{p1}"), t_lin.samples_ms.clone())
+                .with_value(max_lin as f64),
+        );
+
+        // Intensional methods are too expensive to repeat: single-shot.
         let t_mc = if max_lin <= mc_cap {
-            let (_, t) = time(|| mc_answers(&db, &q, 1000, 5).expect("mc"));
-            format!("{:.1}", ms(t))
+            let timed = measure::run(MeasureSpec::once(), || {
+                mc_answers(&db, &q, 1000, 5).expect("mc")
+            });
+            bench.push(Metric::timing(
+                format!("mc1k_p{p1}"),
+                timed.samples_ms.clone(),
+            ));
+            format!("{:.1}", timed.median_ms())
         } else {
             "-".into()
         };
-        let (exact, t) = time(|| exact_answers_bounded(&db, &q, exact_budget).expect("exact"));
-        let t_exact = match exact {
-            Some(_) => format!("{:.1}", ms(t)),
-            None => format!(">{:.0} (gave up)", ms(t)),
+        let timed_exact = measure::run(MeasureSpec::once(), || {
+            exact_answers_bounded(&db, &q, exact_budget).expect("exact")
+        });
+        let t_exact = match &timed_exact.value {
+            Some(exact) => {
+                bench.push(
+                    Metric::timing(format!("exact_p{p1}"), timed_exact.samples_ms.clone())
+                        .with_checksum(checksum_answers(exact)),
+                );
+                format!("{:.1}", timed_exact.median_ms())
+            }
+            None => {
+                bench.push(Metric::value(format!("exact_p{p1}_gave_up"), 1.0));
+                format!(">{:.0} (gave up)", timed_exact.median_ms())
+            }
         };
 
         rows.push(vec![
             p1.to_string(),
             max_lin.to_string(),
             diss.len().to_string(),
-            format!("{:.1}", ms(t_sql)),
-            format!("{:.1}", ms(t_diss)),
-            format!("{:.1}", ms(t_diss3)),
-            format!("{:.1}", ms(t_lin)),
+            format!("{:.1}", t_sql.median_ms()),
+            format!("{:.1}", t_diss.median_ms()),
+            format!("{:.1}", t_diss3.median_ms()),
+            format!("{:.1}", t_lin.median_ms()),
             t_mc,
             t_exact,
         ]);
@@ -134,4 +185,5 @@ fn main() {
     println!("small factor of SQL; exact inference and MC(1k) blow up with");
     println!("lineage size; the lineage query lower-bounds any intensional");
     println!("method; Opt3 helps at small selectivities, hurts at large.");
+    bench.finish();
 }

@@ -4,7 +4,8 @@
 //!
 //! `cargo run --release -p lapush-bench --bin fig5d_query_complexity`
 
-use lapush_bench::{arg, ms, print_table, run_method, scale, Method, Scale};
+use lapush_bench::report::Metric;
+use lapush_bench::{arg, measure, print_table, run_method, scale, Bench, Method, Scale};
 use lapushdb::core::count_minimal_plans;
 use lapushdb::prelude::*;
 use lapushdb::workload::{chain_db, chain_query, find_chain_domain};
@@ -20,6 +21,10 @@ fn main() {
     let kmax: usize = arg("kmax").and_then(|s| s.parse().ok()).unwrap_or(8);
     println!("tuples per table: {n}");
 
+    let mut bench = Bench::new("fig5d_query_complexity");
+    bench.param("n", n);
+    bench.param("kmax", kmax);
+
     let mut rows = Vec::new();
     for k in 2..=kmax {
         let q = chain_query(k);
@@ -27,13 +32,16 @@ fn main() {
         let plans = count_minimal_plans(&shape);
         let domain = find_chain_domain(k, n, 35.0);
         let db = chain_db(k, n, domain, 1.0, 11 + k as u64).expect("chain db");
+        bench.push(Metric::value(format!("k{k}_min_plans"), plans as f64));
 
         let mut cells = vec![k.to_string(), plans.to_string()];
         for m in Method::all() {
-            // Skip the all-plans series when it would take too long at
-            // quick scale.
-            let (_, d) = run_method(&db, &q, m);
-            cells.push(format!("{:.2}", ms(d)));
+            let timed = measure::run(bench.spec(), || run_method(&db, &q, m).0);
+            cells.push(format!("{:.2}", timed.median_ms()));
+            bench.push(
+                Metric::timing(format!("{}_k{k}", m.key()), timed.samples_ms)
+                    .with_value(timed.value as f64),
+            );
         }
         rows.push(cells);
     }
@@ -53,4 +61,5 @@ fn main() {
     println!("\nExpected shape (paper Fig. 5d): the all-plans series grows");
     println!("with the Catalan number of minimal plans (429 at k = 8), while");
     println!("Opt1-2/Opt1-3 stay within a small factor of deterministic SQL.");
+    bench.finish();
 }

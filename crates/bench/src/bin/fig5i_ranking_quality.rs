@@ -9,7 +9,11 @@
 //!
 //! `cargo run --release -p lapush-bench --bin fig5i_ranking_quality`
 
-use lapush_bench::{ap_against, avg_top_answer_prob, print_table, scale, Scale};
+use lapush_bench::measure::MeasureSpec;
+use lapush_bench::report::Metric;
+use lapush_bench::{
+    ap_against, avg_top_answer_prob, checksum_f64s, measure, print_table, scale, Bench, Scale,
+};
 use lapushdb::rank::mean_std;
 use lapushdb::workload::{tpch_db, tpch_query, TpchConfig};
 use lapushdb::{exact_answers, lineage_stats, mc_answers, rank_by_dissociation, RankOptions};
@@ -26,50 +30,60 @@ fn main() {
     };
     let samples = [10usize, 30, 100, 300, 1_000, 3_000, 10_000];
 
+    let mut bench = Bench::new("fig5i_ranking_quality");
+    bench.param("repeats", repeats);
+    bench.param("suppliers", suppliers);
+    bench.param("parts", parts);
+    bench.param("pattern", pattern);
+
     let mut ap_mc: Vec<Vec<f64>> = vec![Vec::new(); samples.len()];
     let mut ap_diss: Vec<f64> = Vec::new();
     let mut ap_lin: Vec<f64> = Vec::new();
     let mut used = 0usize;
 
-    for rep in 0..repeats * 3 {
-        if used >= repeats {
-            break;
-        }
-        // Vary pi_max to sweep the avg[pa] spectrum, keep mid-regime runs.
-        let pi_max = 0.25 + 0.15 * (rep % 4) as f64;
-        let cfg = TpchConfig {
-            suppliers,
-            parts,
-            pi_max,
-            seed: 100 + rep as u64,
-        };
-        let db = tpch_db(cfg).expect("db");
-        let q = tpch_query((suppliers / 2) as i64, pattern);
+    let timed = measure::run(MeasureSpec::once(), || {
+        for rep in 0..repeats * 3 {
+            if used >= repeats {
+                break;
+            }
+            // Vary pi_max to sweep the avg[pa] spectrum, keep mid-regime runs.
+            let pi_max = 0.25 + 0.15 * (rep % 4) as f64;
+            let cfg = TpchConfig {
+                suppliers,
+                parts,
+                pi_max,
+                seed: 100 + rep as u64,
+            };
+            let db = tpch_db(cfg).expect("db");
+            let q = tpch_query((suppliers / 2) as i64, pattern);
 
-        let gt = exact_answers(&db, &q).expect("exact");
-        if gt.len() < 5 {
-            continue;
-        }
-        let pa = avg_top_answer_prob(&gt, 10);
-        if !(0.1..0.9).contains(&pa) {
-            continue;
-        }
-        used += 1;
+            let gt = exact_answers(&db, &q).expect("exact");
+            if gt.len() < 5 {
+                continue;
+            }
+            let pa = avg_top_answer_prob(&gt, 10);
+            if !(0.1..0.9).contains(&pa) {
+                continue;
+            }
+            used += 1;
 
-        let diss = rank_by_dissociation(&db, &q, RankOptions::default()).expect("diss");
-        ap_diss.push(ap_against(&diss, &gt, 10));
-        let (lin, _) = lineage_stats(&db, &q).expect("lineage");
-        ap_lin.push(ap_against(&lin, &gt, 10));
-        for (i, &x) in samples.iter().enumerate() {
-            let mc = mc_answers(&db, &q, x, 7 + rep as u64).expect("mc");
-            ap_mc[i].push(ap_against(&mc, &gt, 10));
+            let diss = rank_by_dissociation(&db, &q, RankOptions::default()).expect("diss");
+            ap_diss.push(ap_against(&diss, &gt, 10));
+            let (lin, _) = lineage_stats(&db, &q).expect("lineage");
+            ap_lin.push(ap_against(&lin, &gt, 10));
+            for (i, &x) in samples.iter().enumerate() {
+                let mc = mc_answers(&db, &q, x, 7 + rep as u64).expect("mc");
+                ap_mc[i].push(ap_against(&mc, &gt, 10));
+            }
         }
-    }
+    });
+    bench.push(Metric::timing("total", timed.samples_ms).with_value(used as f64));
 
     let paper_mc = [0.472, 0.596, 0.727, 0.823, 0.894, 0.936, 0.964];
     let mut rows = Vec::new();
     for (i, &x) in samples.iter().enumerate() {
         let (m, s) = mean_std(&ap_mc[i]);
+        bench.push(Metric::value(format!("map_mc{x}"), m).with_checksum(checksum_f64s(&ap_mc[i])));
         rows.push(vec![
             format!("MC({x})"),
             format!("{m:.3}"),
@@ -78,6 +92,7 @@ fn main() {
         ]);
     }
     let (m, s) = mean_std(&ap_diss);
+    bench.push(Metric::value("map_diss", m).with_checksum(checksum_f64s(&ap_diss)));
     rows.push(vec![
         "dissociation".into(),
         format!("{m:.3}"),
@@ -85,6 +100,7 @@ fn main() {
         "0.998".into(),
     ]);
     let (m, s) = mean_std(&ap_lin);
+    bench.push(Metric::value("map_lineage", m).with_checksum(checksum_f64s(&ap_lin)));
     rows.push(vec![
         "lineage size".into(),
         format!("{m:.3}"),
@@ -98,4 +114,5 @@ fn main() {
     );
     println!("\nExpected shape: MC improves monotonically with samples;");
     println!("dissociation ≈ 1 dominates; lineage-size ranking is far weaker.");
+    bench.finish();
 }

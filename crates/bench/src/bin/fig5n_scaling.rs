@@ -5,7 +5,11 @@
 //!
 //! `cargo run --release -p lapush-bench --bin fig5n_scaling`
 
-use lapush_bench::{ap_against, controlled_rst_db, print_table, scale, Scale};
+use lapush_bench::measure::MeasureSpec;
+use lapush_bench::report::Metric;
+use lapush_bench::{
+    ap_against, checksum_f64s, controlled_rst_db, measure, print_table, scale, Bench, Scale,
+};
 use lapushdb::exact_answers;
 use lapushdb::rank::mean_std;
 
@@ -18,25 +22,36 @@ fn main() {
     let factors = [0.8f64, 0.6, 0.4, 0.2, 0.1, 0.05, 0.01];
     let avg_pis = [0.1f64, 0.2, 0.3, 0.4, 0.5];
 
+    let mut bench = Bench::new("fig5n_scaling");
+    bench.param("repeats", repeats);
+    bench.param("answers", answers);
+
     let mut rows = Vec::new();
-    for &avg_pi in &avg_pis {
-        let mut cells = vec![format!("avg[pi]={avg_pi}")];
-        for &f in &factors {
-            let mut aps = Vec::new();
-            for rep in 0..repeats {
-                // avg[d] ≈ 3 as in the paper's setup for this experiment.
-                let (db, q) = controlled_rst_db(answers, 3, 3, 2.0 * avg_pi, 1100 + rep as u64);
-                let gt = exact_answers(&db, &q).expect("exact");
-                let mut scaled = db.clone();
-                scaled.scale_probs(f);
-                let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
-                aps.push(ap_against(&scaled_gt, &gt, 10));
+    let timed = measure::run(MeasureSpec::once(), || {
+        for &avg_pi in &avg_pis {
+            let mut cells = vec![format!("avg[pi]={avg_pi}")];
+            for (fi, &f) in factors.iter().enumerate() {
+                let mut aps = Vec::new();
+                for rep in 0..repeats {
+                    // avg[d] ≈ 3 as in the paper's setup for this experiment.
+                    let (db, q) = controlled_rst_db(answers, 3, 3, 2.0 * avg_pi, 1100 + rep as u64);
+                    let gt = exact_answers(&db, &q).expect("exact");
+                    let mut scaled = db.clone();
+                    scaled.scale_probs(f);
+                    let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
+                    aps.push(ap_against(&scaled_gt, &gt, 10));
+                }
+                let (m, _) = mean_std(&aps);
+                bench.push(
+                    Metric::value(format!("map_pi{:02}_f{fi}", (avg_pi * 10.0) as u32), m)
+                        .with_checksum(checksum_f64s(&aps)),
+                );
+                cells.push(format!("{m:.3}"));
             }
-            let (m, _) = mean_std(&aps);
-            cells.push(format!("{m:.3}"));
+            rows.push(cells);
         }
-        rows.push(cells);
-    }
+    });
+    bench.push(Metric::timing("total", timed.samples_ms));
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(factors.iter().map(|f| format!("f={f}")))
         .collect();
@@ -49,4 +64,5 @@ fn main() {
     println!("\nExpected shape: rows with small avg[pi] stay near 1 for all");
     println!("f; avg[pi]=0.5 drops noticeably once f < 1 but flattens out —");
     println!("scaling from f=0.2 to f=0.01 changes little (Result 7).");
+    bench.finish();
 }

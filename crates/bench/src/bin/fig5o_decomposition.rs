@@ -8,7 +8,11 @@
 //!
 //! `cargo run --release -p lapush-bench --bin fig5o_decomposition`
 
-use lapush_bench::{ap_against, controlled_rst_db, print_table, scale, Scale};
+use lapush_bench::measure::MeasureSpec;
+use lapush_bench::report::Metric;
+use lapush_bench::{
+    ap_against, checksum_f64s, controlled_rst_db, measure, print_table, scale, Bench, Scale,
+};
 use lapushdb::rank::{mean_std, random_baseline_ap};
 use lapushdb::{exact_answers, lineage_stats};
 
@@ -19,27 +23,37 @@ fn main() {
         Scale::Full => (30, 25),
     };
 
+    let mut bench = Bench::new("fig5o_decomposition");
+    bench.param("repeats", repeats);
+    bench.param("answers", answers);
+
     let mut ap_lineage = Vec::new();
     let mut ap_weights = Vec::new();
-    for rep in 0..repeats {
-        // avg[pi] = 0.25, avg[d] ≈ 3 (the paper uses avg[pi] up to 0.5).
-        let (db, q) = controlled_rst_db(answers, 3, 3, 0.5, 1300 + rep as u64);
-        let gt = exact_answers(&db, &q).expect("exact");
+    let timed = measure::run(MeasureSpec::once(), || {
+        for rep in 0..repeats {
+            // avg[pi] = 0.25, avg[d] ≈ 3 (the paper uses avg[pi] up to 0.5).
+            let (db, q) = controlled_rst_db(answers, 3, 3, 0.5, 1300 + rep as u64);
+            let gt = exact_answers(&db, &q).expect("exact");
 
-        let (lin, _) = lineage_stats(&db, &q).expect("lineage");
-        ap_lineage.push(ap_against(&lin, &gt, 10));
+            let (lin, _) = lineage_stats(&db, &q).expect("lineage");
+            ap_lineage.push(ap_against(&lin, &gt, 10));
 
-        // "Relative input weights": exact ranking on a strongly scaled DB.
-        let mut scaled = db.clone();
-        scaled.scale_probs(0.01);
-        let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
-        ap_weights.push(ap_against(&scaled_gt, &gt, 10));
-    }
+            // "Relative input weights": exact ranking on a strongly scaled DB.
+            let mut scaled = db.clone();
+            scaled.scale_probs(0.01);
+            let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
+            ap_weights.push(ap_against(&scaled_gt, &gt, 10));
+        }
+    });
+    bench.push(Metric::timing("total", timed.samples_ms));
 
     let random = random_baseline_ap(answers, 10);
     let (lin_m, _) = mean_std(&ap_lineage);
     let (w_m, _) = mean_std(&ap_weights);
     let exact_m = 1.0;
+    bench.push(Metric::value("map_random", random));
+    bench.push(Metric::value("map_lineage", lin_m).with_checksum(checksum_f64s(&ap_lineage)));
+    bench.push(Metric::value("map_weights", w_m).with_checksum(checksum_f64s(&ap_weights)));
 
     let span = exact_m - random;
     let pct = |lo: f64, hi: f64| format!("{:.0}%", 100.0 * (hi - lo) / span);
@@ -77,4 +91,5 @@ fn main() {
     println!("\nExpected shape: lineage size alone recovers roughly a third");
     println!("of the ranking signal; adding relative input weights most of");
     println!("the rest; the residual is the actual probability magnitudes.");
+    bench.finish();
 }

@@ -9,7 +9,11 @@
 //!
 //! `cargo run --release -p lapush-bench --bin fig5p_scaled_dissociation`
 
-use lapush_bench::{ap_against, controlled_rst_db, print_table, scale, Scale};
+use lapush_bench::measure::MeasureSpec;
+use lapush_bench::report::Metric;
+use lapush_bench::{
+    ap_against, checksum_f64s, controlled_rst_db, measure, print_table, scale, Bench, Scale,
+};
 use lapushdb::rank::mean_std;
 use lapushdb::{exact_answers, lineage_stats, rank_by_dissociation, RankOptions};
 
@@ -21,40 +25,52 @@ fn main() {
     };
     let factors = [1.0f64, 0.6, 0.3, 0.1, 0.03, 0.01];
 
+    let mut bench = Bench::new("fig5p_scaled_dissociation");
+    bench.param("repeats", repeats);
+    bench.param("answers", answers);
+
     let series = [
         "scaled-diss vs scaled-GT",
         "scaled-diss vs GT",
         "scaled-GT vs GT",
         "lineage vs scaled-GT",
     ];
+    let series_keys = ["sdiss_sgt", "sdiss_gt", "sgt_gt", "lin_sgt"];
     let mut acc: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); factors.len()]; series.len()];
 
-    for rep in 0..repeats {
-        // Substantial dissociation (avg[d] ≈ 4) and large probabilities:
-        // the regime where unscaled dissociation struggles.
-        let (db, q) = controlled_rst_db(answers, 3, 4, 1.0, 1500 + rep as u64);
-        let gt = exact_answers(&db, &q).expect("exact");
-        let (lin, _) = lineage_stats(&db, &q).expect("lineage");
+    let timed = measure::run(MeasureSpec::once(), || {
+        for rep in 0..repeats {
+            // Substantial dissociation (avg[d] ≈ 4) and large probabilities:
+            // the regime where unscaled dissociation struggles.
+            let (db, q) = controlled_rst_db(answers, 3, 4, 1.0, 1500 + rep as u64);
+            let gt = exact_answers(&db, &q).expect("exact");
+            let (lin, _) = lineage_stats(&db, &q).expect("lineage");
 
-        for (fi, &f) in factors.iter().enumerate() {
-            let mut scaled = db.clone();
-            scaled.scale_probs(f);
-            let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
-            let scaled_diss =
-                rank_by_dissociation(&scaled, &q, RankOptions::default()).expect("diss");
+            for (fi, &f) in factors.iter().enumerate() {
+                let mut scaled = db.clone();
+                scaled.scale_probs(f);
+                let scaled_gt = exact_answers(&scaled, &q).expect("exact scaled");
+                let scaled_diss =
+                    rank_by_dissociation(&scaled, &q, RankOptions::default()).expect("diss");
 
-            acc[0][fi].push(ap_against(&scaled_diss, &scaled_gt, 10));
-            acc[1][fi].push(ap_against(&scaled_diss, &gt, 10));
-            acc[2][fi].push(ap_against(&scaled_gt, &gt, 10));
-            acc[3][fi].push(ap_against(&lin, &scaled_gt, 10));
+                acc[0][fi].push(ap_against(&scaled_diss, &scaled_gt, 10));
+                acc[1][fi].push(ap_against(&scaled_diss, &gt, 10));
+                acc[2][fi].push(ap_against(&scaled_gt, &gt, 10));
+                acc[3][fi].push(ap_against(&lin, &scaled_gt, 10));
+            }
         }
-    }
+    });
+    bench.push(Metric::timing("total", timed.samples_ms));
 
     let mut rows = Vec::new();
     for (si, s) in series.iter().enumerate() {
         let mut cells = vec![s.to_string()];
-        for samples in acc[si].iter() {
+        for (fi, samples) in acc[si].iter().enumerate() {
             let (m, _) = mean_std(samples);
+            bench.push(
+                Metric::value(format!("map_{}_f{fi}", series_keys[si]), m)
+                    .with_checksum(checksum_f64s(samples)),
+            );
             cells.push(format!("{m:.3}"));
         }
         rows.push(cells);
@@ -73,4 +89,5 @@ fn main() {
     println!("from above — i.e. dissociation under heavy scaling degrades to");
     println!("ranking by relative input weights, not to random; lineage-size");
     println!("ranking stays clearly below.");
+    bench.finish();
 }

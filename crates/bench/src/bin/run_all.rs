@@ -1,63 +1,21 @@
-//! Run every experiment binary in sequence, forwarding the scale flag.
+//! Run every experiment binary in sequence, forwarding the scale and
+//! output flags. Equivalent to `lapush bench`; both iterate
+//! `lapushdb::benchsuite::SUITE`.
 //!
-//! `cargo run --release -p lapush-bench --bin run_all -- [--quick|--full]`
+//! `cargo run --release -p lapush-bench --bin run_all -- [--quick|--full] [--out DIR]`
+//!
+//! A failing binary does not abort the suite: every remaining experiment
+//! still runs, the failures are listed at the end, and the process exits
+//! non-zero if any run failed.
 
-use std::process::Command;
-
-const BINARIES: &[&str] = &[
-    "fig2_counts",
-    "fig5_runtime", // chain k=4 by default; k=7 and star below
-    "fig5d_query_complexity",
-    "fig5_tpch",
-    "fig5i_ranking_quality",
-    "fig5j_answer_prob",
-    "fig5k_lineage_rank",
-    "fig5l_dissociation_degree",
-    "fig5m_tradeoff",
-    "fig5n_scaling",
-    "fig5o_decomposition",
-    "fig5p_scaled_dissociation",
-    "ablation_schema",
-];
+use lapushdb::benchsuite::{current_bin_dir, run_suite, summarize};
 
 fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("target dir").to_path_buf();
-    let scale_flag: Vec<String> = std::env::args().skip(1).collect();
-
-    let mut runs: Vec<(String, Vec<String>)> = Vec::new();
-    for &b in BINARIES {
-        if b == "fig5_runtime" {
-            for extra in [
-                vec!["--family".into(), "chain".into(), "--k".into(), "4".into()],
-                vec!["--family".into(), "chain".into(), "--k".into(), "7".into()],
-                vec!["--family".into(), "star".into(), "--k".into(), "2".into()],
-            ] {
-                runs.push((b.to_string(), extra));
-            }
-        } else if b == "fig5_tpch" {
-            for p2 in ["red-green", "red", "any"] {
-                runs.push((b.to_string(), vec!["--param2".into(), p2.into()]));
-            }
-        } else {
-            runs.push((b.to_string(), Vec::new()));
-        }
+    let bin_dir = current_bin_dir().expect("current exe path");
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = run_suite(&bin_dir, &forwarded);
+    if outcome.all_ok() {
+        println!("\nall experiments completed");
     }
-
-    for (bin, extra) in runs {
-        let path = dir.join(&bin);
-        println!("\n──────────────────────────────────────────────────────");
-        println!("▶ {bin} {}", extra.join(" "));
-        println!("──────────────────────────────────────────────────────");
-        let status = Command::new(&path)
-            .args(&extra)
-            .args(&scale_flag)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        if !status.success() {
-            eprintln!("✗ {bin} exited with {status}");
-            std::process::exit(1);
-        }
-    }
-    println!("\nall experiments completed");
+    std::process::exit(summarize(&outcome));
 }

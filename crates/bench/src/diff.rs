@@ -1,0 +1,471 @@
+//! Baseline comparison: the logic behind the `bench-diff` CI gate.
+//!
+//! A *baseline* set (committed under `benches/baselines/`) is compared
+//! against a *current* set (fresh `BENCH_*.json` from `lapush bench`).
+//! Three checks run per metric, strongest first:
+//!
+//! 1. **Checksums** — compared exactly. All workloads are seeded, so a
+//!    checksum change means the computed answers changed.
+//! 2. **Values** — scalar results (answer counts, MAP scores, plan
+//!    counts) compared with tight relative tolerance.
+//! 3. **Timing** — median wall time gated by the baseline target's
+//!    `threshold_rel` (current may be at most `(1 + threshold_rel) ×`
+//!    baseline). Metrics whose baseline median is below
+//!    [`TIMING_FLOOR_MS`] are not timing-gated: sub-millisecond medians
+//!    on shared CI runners are noise.
+//!
+//! Structural problems (schema-version mismatch, scale mismatch, a
+//! baseline target or metric missing from the current set) are hard
+//! failures: a silently dropped benchmark must not look like a pass.
+
+use crate::report::Report;
+
+/// Baseline medians below this many milliseconds are exempt from the
+/// relative timing gate.
+pub const TIMING_FLOOR_MS: f64 = 2.0;
+
+/// Relative tolerance for scalar result values.
+pub const VALUE_REL_TOL: f64 = 1e-9;
+
+/// Outcome of one comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within budget.
+    Pass,
+    /// Median wall time at least 20% below baseline (informational).
+    Improved,
+    /// Median wall time above the regression budget.
+    TimeRegressed {
+        /// Baseline median, ms.
+        baseline_ms: f64,
+        /// Current median, ms.
+        current_ms: f64,
+        /// Budget that was exceeded.
+        threshold_rel: f64,
+    },
+    /// Result checksum changed.
+    ChecksumMismatch {
+        /// Baseline checksum.
+        baseline: String,
+        /// Current checksum.
+        current: String,
+    },
+    /// Scalar result changed beyond [`VALUE_REL_TOL`].
+    ValueMismatch {
+        /// Baseline value.
+        baseline: f64,
+        /// Current value.
+        current: f64,
+    },
+    /// Baseline metric absent from the current report.
+    MissingMetric,
+    /// Baseline target has no current report at all.
+    MissingTarget,
+    /// Current target absent from the baselines (new benchmark;
+    /// informational — commit a baseline to start gating it).
+    NewTarget,
+    /// Reports use different schema versions.
+    SchemaMismatch {
+        /// Baseline schema version.
+        baseline: u64,
+        /// Current schema version.
+        current: u64,
+    },
+    /// Reports were produced at different scales.
+    ScaleMismatch {
+        /// Baseline scale name.
+        baseline: &'static str,
+        /// Current scale name.
+        current: &'static str,
+    },
+}
+
+impl Verdict {
+    /// Does this verdict fail the gate?
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Verdict::Pass | Verdict::Improved | Verdict::NewTarget)
+    }
+}
+
+/// One line of diff output: a (target, metric) pair and its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Target name.
+    pub target: String,
+    /// Metric name (empty for whole-target verdicts).
+    pub metric: String,
+    /// What happened.
+    pub verdict: Verdict,
+}
+
+impl DiffEntry {
+    fn target_level(target: &str, verdict: Verdict) -> DiffEntry {
+        DiffEntry {
+            target: target.to_string(),
+            metric: String::new(),
+            verdict,
+        }
+    }
+}
+
+impl std::fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = if self.metric.is_empty() {
+            self.target.clone()
+        } else {
+            format!("{}::{}", self.target, self.metric)
+        };
+        match &self.verdict {
+            Verdict::Pass => write!(f, "PASS       {label}"),
+            Verdict::Improved => write!(f, "IMPROVED   {label}"),
+            Verdict::TimeRegressed {
+                baseline_ms,
+                current_ms,
+                threshold_rel,
+            } => write!(
+                f,
+                "REGRESSED  {label}: {current_ms:.3} ms vs baseline {baseline_ms:.3} ms \
+                 (budget +{:.0}%)",
+                threshold_rel * 100.0
+            ),
+            Verdict::ChecksumMismatch { baseline, current } => {
+                write!(f, "CHECKSUM   {label}: {current} vs baseline {baseline}")
+            }
+            Verdict::ValueMismatch { baseline, current } => {
+                write!(f, "VALUE      {label}: {current} vs baseline {baseline}")
+            }
+            Verdict::MissingMetric => write!(f, "MISSING    {label}: metric not in current run"),
+            Verdict::MissingTarget => write!(f, "MISSING    {label}: target not in current run"),
+            Verdict::NewTarget => write!(f, "NEW        {label}: no baseline committed yet"),
+            Verdict::SchemaMismatch { baseline, current } => write!(
+                f,
+                "SCHEMA     {label}: version {current} vs baseline {baseline}"
+            ),
+            Verdict::ScaleMismatch { baseline, current } => {
+                write!(f, "SCALE      {label}: {current} vs baseline {baseline}")
+            }
+        }
+    }
+}
+
+/// Options for the comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiffOptions {
+    /// Override every baseline's `threshold_rel` with this budget.
+    pub threshold_override: Option<f64>,
+    /// Skip checksum comparison (timing/value gates still apply).
+    pub ignore_checksums: bool,
+    /// Skip scalar-value comparison.
+    pub ignore_values: bool,
+}
+
+/// Compare one baseline report against its current counterpart.
+pub fn diff_reports(baseline: &Report, current: &Report, opts: DiffOptions) -> Vec<DiffEntry> {
+    if baseline.schema_version != current.schema_version {
+        return vec![DiffEntry::target_level(
+            &baseline.target,
+            Verdict::SchemaMismatch {
+                baseline: baseline.schema_version,
+                current: current.schema_version,
+            },
+        )];
+    }
+    if baseline.scale != current.scale {
+        return vec![DiffEntry::target_level(
+            &baseline.target,
+            Verdict::ScaleMismatch {
+                baseline: baseline.scale.name(),
+                current: current.scale.name(),
+            },
+        )];
+    }
+    let threshold = opts.threshold_override.unwrap_or(baseline.threshold_rel);
+    let mut entries = Vec::new();
+    for base_metric in &baseline.metrics {
+        let entry = |verdict| DiffEntry {
+            target: baseline.target.clone(),
+            metric: base_metric.name.clone(),
+            verdict,
+        };
+        let Some(cur_metric) = current.metric(&base_metric.name) else {
+            entries.push(entry(Verdict::MissingMetric));
+            continue;
+        };
+        // A baseline checksum/value with no current counterpart is a
+        // failure, not a skip: a refactor that drops the instrumentation
+        // must not make correctness drift invisible to the gate.
+        if !opts.ignore_checksums {
+            match (&base_metric.checksum, &cur_metric.checksum) {
+                (Some(b), Some(c)) if b != c => {
+                    entries.push(entry(Verdict::ChecksumMismatch {
+                        baseline: b.clone(),
+                        current: c.clone(),
+                    }));
+                    continue;
+                }
+                (Some(b), None) => {
+                    entries.push(entry(Verdict::ChecksumMismatch {
+                        baseline: b.clone(),
+                        current: "<absent>".into(),
+                    }));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !opts.ignore_values {
+            match (base_metric.value, cur_metric.value) {
+                (Some(b), Some(c)) => {
+                    let scale = b.abs().max(c.abs()).max(1.0);
+                    if (b - c).abs() > VALUE_REL_TOL * scale {
+                        entries.push(entry(Verdict::ValueMismatch {
+                            baseline: b,
+                            current: c,
+                        }));
+                        continue;
+                    }
+                }
+                (Some(b), None) => {
+                    entries.push(entry(Verdict::ValueMismatch {
+                        baseline: b,
+                        current: f64::NAN,
+                    }));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let timed = !base_metric.samples_ms.is_empty() && !cur_metric.samples_ms.is_empty();
+        if timed && base_metric.median_ms >= TIMING_FLOOR_MS {
+            if cur_metric.median_ms > base_metric.median_ms * (1.0 + threshold) {
+                entries.push(entry(Verdict::TimeRegressed {
+                    baseline_ms: base_metric.median_ms,
+                    current_ms: cur_metric.median_ms,
+                    threshold_rel: threshold,
+                }));
+                continue;
+            }
+            if cur_metric.median_ms < base_metric.median_ms * 0.8 {
+                entries.push(entry(Verdict::Improved));
+                continue;
+            }
+        }
+        entries.push(entry(Verdict::Pass));
+    }
+    entries
+}
+
+/// Compare a whole baseline set against a current set (both as loaded by
+/// [`crate::report::load_dir`]). Baseline targets missing from the current
+/// set fail; current targets without a baseline are flagged `NewTarget`
+/// but pass.
+pub fn diff_sets(baselines: &[Report], currents: &[Report], opts: DiffOptions) -> Vec<DiffEntry> {
+    let mut entries = Vec::new();
+    for baseline in baselines {
+        match currents.iter().find(|c| c.target == baseline.target) {
+            Some(current) => entries.extend(diff_reports(baseline, current, opts)),
+            None => entries.push(DiffEntry::target_level(
+                &baseline.target,
+                Verdict::MissingTarget,
+            )),
+        }
+    }
+    for current in currents {
+        if !baselines.iter().any(|b| b.target == current.target) {
+            entries.push(DiffEntry::target_level(&current.target, Verdict::NewTarget));
+        }
+    }
+    entries
+}
+
+/// True when any entry fails the gate.
+pub fn has_failures(entries: &[DiffEntry]) -> bool {
+    entries.iter().any(|e| e.verdict.is_failure())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Metric, Report, SCHEMA_VERSION};
+    use crate::Scale;
+
+    fn report_with(metrics: Vec<Metric>) -> Report {
+        let mut r = Report::new("t1", Scale::Quick);
+        for m in metrics {
+            r.push(m);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report_with(vec![
+            Metric::timing("a", vec![10.0, 11.0, 10.5]).with_checksum("abc"),
+            Metric::value("b", 0.5),
+        ]);
+        let entries = diff_reports(&r, &r.clone(), DiffOptions::default());
+        assert!(!has_failures(&entries), "{entries:?}");
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn self_diff_of_a_set_passes() {
+        let set = vec![report_with(vec![Metric::timing("a", vec![5.0])]), {
+            let mut r = Report::new("t2", Scale::Quick);
+            r.push(Metric::value("v", 1.0));
+            r
+        }];
+        assert!(!has_failures(&diff_sets(
+            &set,
+            &set,
+            DiffOptions::default()
+        )));
+    }
+
+    #[test]
+    fn inflated_timing_regresses() {
+        let base = report_with(vec![Metric::timing("a", vec![10.0, 10.0, 10.0])]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![100.0, 100.0, 100.0]);
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(entries[0].verdict, Verdict::TimeRegressed { .. }));
+        assert!(has_failures(&entries));
+    }
+
+    #[test]
+    fn timing_floor_exempts_fast_metrics() {
+        // 0.1 ms baseline: even a 100x blowup is noise at this resolution.
+        let base = report_with(vec![Metric::timing("a", vec![0.1])]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![10.0 * TIMING_FLOOR_MS]);
+        // Stay below the floor... but the current metric median is above it;
+        // the *baseline* median decides eligibility.
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(!has_failures(&entries), "{entries:?}");
+    }
+
+    #[test]
+    fn faster_run_reports_improved() {
+        let base = report_with(vec![Metric::timing("a", vec![100.0])]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![10.0]);
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert_eq!(entries[0].verdict, Verdict::Improved);
+        assert!(!has_failures(&entries));
+    }
+
+    #[test]
+    fn checksum_mismatch_fails() {
+        let base = report_with(vec![Metric::timing("a", vec![10.0]).with_checksum("aaa")]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![10.0]).with_checksum("bbb");
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(
+            entries[0].verdict,
+            Verdict::ChecksumMismatch { .. }
+        ));
+        // ...unless checksums are ignored.
+        let lenient = diff_reports(
+            &base,
+            &cur,
+            DiffOptions {
+                ignore_checksums: true,
+                ..DiffOptions::default()
+            },
+        );
+        assert!(!has_failures(&lenient));
+    }
+
+    #[test]
+    fn dropped_checksum_or_value_fails() {
+        let base = report_with(vec![
+            Metric::timing("a", vec![10.0]).with_checksum("aaa"),
+            Metric::value("v", 0.5),
+        ]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![10.0]); // checksum dropped
+        cur.metrics[1] = Metric::timing("v", vec![1.0]); // value dropped
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(
+            entries[0].verdict,
+            Verdict::ChecksumMismatch { .. }
+        ));
+        assert!(matches!(entries[1].verdict, Verdict::ValueMismatch { .. }));
+        // The reverse (baseline has no checksum, current gained one) passes.
+        let entries = diff_reports(&cur, &base, DiffOptions::default());
+        assert!(!has_failures(&entries), "{entries:?}");
+    }
+
+    #[test]
+    fn value_mismatch_fails() {
+        let base = report_with(vec![Metric::value("v", 0.5)]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::value("v", 0.6);
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(entries[0].verdict, Verdict::ValueMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_metric_and_target_fail() {
+        let base = report_with(vec![
+            Metric::timing("a", vec![1.0]),
+            Metric::timing("b", vec![1.0]),
+        ]);
+        let cur = report_with(vec![Metric::timing("a", vec![1.0])]);
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(entries
+            .iter()
+            .any(|e| e.metric == "b" && e.verdict == Verdict::MissingMetric));
+
+        let entries = diff_sets(std::slice::from_ref(&base), &[], DiffOptions::default());
+        assert_eq!(entries[0].verdict, Verdict::MissingTarget);
+        assert!(has_failures(&entries));
+    }
+
+    #[test]
+    fn new_target_is_informational() {
+        let cur = report_with(vec![Metric::timing("a", vec![1.0])]);
+        let entries = diff_sets(&[], std::slice::from_ref(&cur), DiffOptions::default());
+        assert_eq!(entries[0].verdict, Verdict::NewTarget);
+        assert!(!has_failures(&entries));
+    }
+
+    #[test]
+    fn schema_version_mismatch_fails() {
+        let base = report_with(vec![Metric::timing("a", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.schema_version = SCHEMA_VERSION + 1;
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert_eq!(entries.len(), 1);
+        assert!(matches!(entries[0].verdict, Verdict::SchemaMismatch { .. }));
+        assert!(has_failures(&entries));
+    }
+
+    #[test]
+    fn scale_mismatch_fails() {
+        let base = report_with(vec![Metric::timing("a", vec![1.0])]);
+        let mut cur = base.clone();
+        cur.scale = Scale::Full;
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(entries[0].verdict, Verdict::ScaleMismatch { .. }));
+    }
+
+    #[test]
+    fn threshold_override_applies() {
+        let base = report_with(vec![Metric::timing("a", vec![10.0])]);
+        let mut cur = base.clone();
+        cur.metrics[0] = Metric::timing("a", vec![12.0]);
+        // Default budget (+500%) passes a 1.2x slowdown…
+        assert!(!has_failures(&diff_reports(
+            &base,
+            &cur,
+            DiffOptions::default()
+        )));
+        // …but a strict 10% budget fails it.
+        let strict = DiffOptions {
+            threshold_override: Some(0.1),
+            ..DiffOptions::default()
+        };
+        assert!(has_failures(&diff_reports(&base, &cur, strict)));
+    }
+}

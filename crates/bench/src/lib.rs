@@ -4,10 +4,26 @@
 //! paper's evaluation (Section 5); see DESIGN.md for the index. Binaries
 //! accept `--quick` for a fast smoke run and `--full` for paper-scale
 //! sweeps; defaults sit in between.
+//!
+//! Beyond the stdout tables, every binary records its measurements
+//! through a [`Bench`] session and writes a machine-readable
+//! `BENCH_<target>.json` report (see [`report`]) into `--out DIR` (or
+//! `$LAPUSH_BENCH_OUT`, default `.`). The [`measure`] module provides
+//! warmup/iteration timing with median + MAD; [`diff`] compares report
+//! sets against committed baselines and backs the `bench-diff` gate.
+
+pub mod diff;
+pub mod measure;
+pub mod report;
 
 use lapushdb::engine::AnswerSet;
 use lapushdb::prelude::*;
+use lapushdb::storage::fxhash::FxHasher;
 use lapushdb::storage::Value;
+use measure::MeasureSpec;
+use report::{Metric, Report};
+use std::hash::Hasher;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Command-line argument access: `--key value` or `--key=value`.
@@ -56,6 +72,128 @@ pub fn scale() -> Scale {
     } else {
         Scale::Normal
     }
+}
+
+/// Where `BENCH_*.json` reports go: `--out DIR`, else `$LAPUSH_BENCH_OUT`,
+/// else the current directory.
+pub fn out_dir() -> PathBuf {
+    arg("out")
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("LAPUSH_BENCH_OUT").ok())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// A measurement session for one experiment binary: owns the
+/// [`report::Report`] being built, the scale-appropriate
+/// [`measure::MeasureSpec`], and the output directory.
+pub struct Bench {
+    report: Report,
+    spec: MeasureSpec,
+    out: PathBuf,
+}
+
+impl Bench {
+    /// Start a session for `target` (the report's unique name — binary
+    /// name plus any variant suffix). Reads the scale flags and output
+    /// directory from the command line.
+    pub fn new(target: &str) -> Bench {
+        let scale = scale();
+        Bench {
+            report: Report::new(target, scale),
+            spec: MeasureSpec::for_scale(scale),
+            out: out_dir(),
+        }
+    }
+
+    /// Record a run parameter.
+    pub fn param(&mut self, key: &str, value: impl ToString) {
+        self.report.param(key, value);
+    }
+
+    /// The session's measurement spec (warmup/iteration counts).
+    pub fn spec(&self) -> MeasureSpec {
+        self.spec
+    }
+
+    /// Measure `f` under the session spec, record a timing metric, and
+    /// return the last value.
+    pub fn time<T>(&mut self, name: &str, f: impl FnMut() -> T) -> T {
+        let timed = measure::run(self.spec, f);
+        self.report.push(Metric::timing(name, timed.samples_ms));
+        timed.value
+    }
+
+    /// Append a prebuilt metric.
+    pub fn push(&mut self, metric: Metric) {
+        self.report.push(metric);
+    }
+
+    /// Write the report. Failing to persist measurements is a hard error:
+    /// a missing report must fail CI, not silently pass it.
+    pub fn finish(self) {
+        match self.report.write_to(&self.out) {
+            Ok(path) => println!("\nbench report: {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write bench report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn finish_checksum(hasher: FxHasher) -> String {
+    format!("{:016x}", hasher.finish())
+}
+
+/// Order-independent checksum of an answer set: keys with their scores
+/// rounded to 9 significant digits (so the last few ulps of float noise
+/// don't flip the digest), sorted, then hashed.
+pub fn checksum_answers(ans: &AnswerSet) -> String {
+    let mut lines: Vec<String> = ans
+        .rows
+        .iter()
+        .map(|(key, score)| {
+            let key_text = key
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{key_text}\t{score:.9e}")
+        })
+        .collect();
+    lines.sort();
+    let mut hasher = FxHasher::default();
+    for line in &lines {
+        hasher.write(line.as_bytes());
+        hasher.write_u8(b'\n');
+    }
+    finish_checksum(hasher)
+}
+
+/// Order-sensitive checksum of a float sequence (rounded like
+/// [`checksum_answers`]).
+pub fn checksum_f64s(xs: &[f64]) -> String {
+    let mut hasher = FxHasher::default();
+    for x in xs {
+        hasher.write(format!("{x:.9e}").as_bytes());
+        hasher.write_u8(b'\n');
+    }
+    finish_checksum(hasher)
+}
+
+/// Order-sensitive checksum of a string sequence (table rows, labels…).
+pub fn checksum_strings<I, S>(items: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut hasher = FxHasher::default();
+    for item in items {
+        hasher.write(item.as_ref().as_bytes());
+        hasher.write_u8(b'\n');
+    }
+    finish_checksum(hasher)
 }
 
 /// Time a closure.
@@ -205,6 +343,17 @@ impl Method {
         }
     }
 
+    /// Stable snake_case key for metric names in bench reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Method::AllPlans => "all_plans",
+            Method::Opt1 => "opt1",
+            Method::Opt12 => "opt12",
+            Method::Opt123 => "opt123",
+            Method::Sql => "sql",
+        }
+    }
+
     /// All five series in figure order.
     pub fn all() -> [Method; 5] {
         [
@@ -266,6 +415,28 @@ mod tests {
         let gt = exact_answers(&db, &q).unwrap();
         // Perfect agreement with itself.
         assert!((ap_against(&gt, &gt, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_checksum_is_order_independent_and_sensitive() {
+        let (db, q) = controlled_rst_db(5, 2, 3, 0.5, 1);
+        let gt = exact_answers(&db, &q).unwrap();
+        let a = checksum_answers(&gt);
+        let b = checksum_answers(&gt.clone());
+        assert_eq!(a, b);
+        let mut perturbed = gt.clone();
+        if let Some(score) = perturbed.rows.values_mut().next() {
+            *score += 0.125;
+        }
+        assert_ne!(a, checksum_answers(&perturbed));
+    }
+
+    #[test]
+    fn float_and_string_checksums_are_stable() {
+        assert_eq!(checksum_f64s(&[1.0, 2.0]), checksum_f64s(&[1.0, 2.0]));
+        assert_ne!(checksum_f64s(&[1.0, 2.0]), checksum_f64s(&[2.0, 1.0]));
+        assert_eq!(checksum_strings(["a", "b"]), checksum_strings(["a", "b"]));
+        assert_ne!(checksum_strings(["ab"]), checksum_strings(["a", "b"]));
     }
 
     #[test]

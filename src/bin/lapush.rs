@@ -12,10 +12,23 @@
 //! Methods: `diss` (propagation score, default), `bounds` (sandwich
 //! [low, ρ] interval), `exact` (WMC oracle), `mc` (Monte Carlo, with
 //! `--samples`), `sql` (deterministic answers), `plans` (print plans only).
+//!
+//! The `bench` subcommand runs the whole experiment suite of the
+//! `lapush-bench` crate and writes one machine-readable
+//! `BENCH_<target>.json` report per experiment:
+//!
+//! ```console
+//! $ lapush bench --quick --out bench-out
+//! ```
+//!
+//! Compare the reports against committed baselines with the `bench-diff`
+//! binary (exits non-zero on regression).
 
 use lapushdb::prelude::*;
 use lapushdb::storage::{database_from_dir, CsvOptions};
-use lapushdb::{bound_answers, exact_answers, mc_answers, rank_by_dissociation, RankOptions};
+use lapushdb::{
+    benchsuite, bound_answers, exact_answers, mc_answers, rank_by_dissociation, RankOptions,
+};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -26,10 +39,51 @@ fn arg(name: &str) -> Option<String> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("bench") {
+        std::process::exit(run_bench());
+    }
     if let Err(e) = run() {
         eprintln!("lapush: {e}");
         std::process::exit(1);
     }
+}
+
+/// `lapush bench [--quick|--full] [--out DIR]`: run the experiment suite,
+/// forwarding the scale and output flags to every experiment binary.
+fn run_bench() -> i32 {
+    let usage = "usage: lapush bench [--quick|--full] [--out DIR]";
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--full" => forwarded.push(args[i].clone()),
+            "--out" => {
+                let Some(dir) = args.get(i + 1).filter(|d| !d.starts_with("--")) else {
+                    eprintln!("lapush bench: --out needs a directory\n{usage}");
+                    return 2;
+                };
+                forwarded.push("--out".into());
+                forwarded.push(dir.clone());
+                i += 1;
+            }
+            out if out.starts_with("--out=") => forwarded.push(out.to_string()),
+            other => {
+                eprintln!("lapush bench: unexpected argument `{other}`\n{usage}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let bin_dir = match benchsuite::current_bin_dir() {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("lapush bench: cannot locate executable directory: {e}");
+            return 1;
+        }
+    };
+    let outcome = benchsuite::run_suite(&bin_dir, &forwarded);
+    benchsuite::summarize(&outcome)
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {

@@ -45,6 +45,31 @@
 //! | [`lineage`] | lineage DNFs, exact WMC, Monte Carlo, Karp–Luby |
 //! | [`rank`] | tie-aware AP@k / MAP metrics |
 //! | [`workload`] | TPC-H-style, k-chain, k-star, random generators |
+//!
+//! ## Benchmarking
+//!
+//! The `lapush` CLI doubles as the experiment-suite driver:
+//!
+//! ```console
+//! $ cargo build --release --workspace
+//! $ ./target/release/lapush bench --quick --out bench-out
+//! ```
+//!
+//! runs every experiment binary of the `lapush-bench` crate (the
+//! [`benchsuite::SUITE`] list) and collects one machine-readable
+//! `BENCH_<target>.json` report per experiment in `--out` — wall-time
+//! samples with median + MAD, result checksums, and toolchain metadata
+//! under a versioned schema. `--quick` runs smoke sizes (what CI gates
+//! on), `--full` paper-scale sweeps; omit both for the defaults.
+//!
+//! The companion `bench-diff` binary compares a report directory against
+//! the committed baselines and exits non-zero on regression:
+//!
+//! ```console
+//! $ ./target/release/bench-diff --baseline benches/baselines --current bench-out
+//! ```
+//!
+//! See `benches/baselines/README.md` for how baselines are regenerated.
 
 pub use lapush_core as core;
 pub use lapush_engine as engine;
@@ -54,6 +79,7 @@ pub use lapush_rank as rank;
 pub use lapush_storage as storage;
 pub use lapush_workload as workload;
 
+pub mod benchsuite;
 pub mod driver;
 
 pub use driver::{
