@@ -1,10 +1,22 @@
 //! Plan evaluation.
+//!
+//! Evaluation is dictionary-encoded end to end: the atom scan encodes base
+//! tuples into vid rows via the database's codec (`Database::codec`), every
+//! operator in [`crate::rel`] runs on those encoded rows, and the final
+//! result is decoded back to [`Value`]s exactly once — here, at the
+//! [`AnswerSet`] boundary. Public signatures and results are identical to
+//! the value-level engine; only the intermediate representation changed.
 
-use crate::rel::{join_many, min_combine, project_det, project_max, project_prob, Rel};
+use crate::prepare::{prepare_atoms, PrepareError, PreparedAtom, ScanShape};
+use crate::rel::{
+    join_many, join_many_refs, min_combine_refs, min_into, project_det, project_max, project_prob,
+    Rel,
+};
 use lapush_core::{Plan, PlanKind};
-use lapush_query::{Atom, Query, Term, Var, VarSet};
-use lapush_storage::{Database, FxHashMap, Value};
+use lapush_query::{Atom, Query, Var, VarSet};
+use lapush_storage::{Database, DbCodec, FxHashMap, RowKey, Value};
 use std::fmt;
+use std::rc::Rc;
 
 /// Score semantics for evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +82,23 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+impl From<PrepareError> for ExecError {
+    fn from(e: PrepareError) -> Self {
+        match e {
+            PrepareError::UnknownRelation(r) => ExecError::UnknownRelation(r),
+            PrepareError::AtomArity {
+                relation,
+                relation_arity,
+                atom_arity,
+            } => ExecError::AtomArity {
+                relation,
+                relation_arity,
+                atom_arity,
+            },
+        }
+    }
+}
+
 /// The result of evaluating a plan: per answer tuple (head variables of the
 /// query, in head order) a score.
 #[derive(Debug, Clone)]
@@ -105,15 +134,17 @@ impl AnswerSet {
 
     /// Answers sorted by descending score, ties broken by tuple value for
     /// determinism.
+    ///
+    /// Sorts borrowed entries and clones each key once, on output; the
+    /// (score, key) order is total, so the unstable sort is deterministic.
     pub fn ranked(&self) -> Vec<(Box<[Value]>, f64)> {
-        let mut v: Vec<(Box<[Value]>, f64)> =
-            self.rows.iter().map(|(k, &s)| (k.clone(), s)).collect();
-        v.sort_by(|a, b| {
+        let mut v: Vec<(&Box<[Value]>, f64)> = self.rows.iter().map(|(k, &s)| (k, s)).collect();
+        v.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.0.cmp(b.0))
         });
-        v
+        v.into_iter().map(|(k, s)| (k.clone(), s)).collect()
     }
 
     /// Combine with another answer set by per-tuple maximum (used to pick
@@ -156,146 +187,142 @@ pub fn eval_plan(
     plan: &Plan,
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
-    let mut cache: FxHashMap<(u64, VarSet), Rel> = FxHashMap::default();
-    let rel = eval_node(db, q, plan, opts, &mut cache, false)?;
-    // Reorder columns to the query's head order.
-    let head: Vec<Var> = q.head().to_vec();
+    let prepared = prepare_atoms(db, q)?;
+    let mut ctx = EvalCtx::default();
+    let rel = eval_node(db, &prepared, q, plan, opts, &mut ctx, false)?;
+    Ok(decode_answers(&rel, q.head(), &db.codec()))
+}
+
+/// Evaluation results are shared, not copied: memo hits (scans, reused
+/// views) hand out another reference to the same relation.
+type RcRel = Rc<Rel>;
+
+/// Per-evaluation memoization state.
+#[derive(Default)]
+struct EvalCtx {
+    /// Optimization 2 subquery memo, keyed by `(atoms_mask, head)`. Sound
+    /// only within a single plan produced by `lapush_core::single_plan`
+    /// (equal keys denote equal subplans there); cleared between plans.
+    views: FxHashMap<(u64, VarSet), RcRel>,
+    /// Scan memo, keyed by atom index. A scan depends only on the database,
+    /// the atom, and the semantics — all fixed for the lifetime of the
+    /// context — so this memo is safe across plans of the same evaluation
+    /// (`propagation_score` shares it over all minimal plans).
+    scans: FxHashMap<usize, RcRel>,
+}
+
+/// Decode an encoded result into the value-level [`AnswerSet`], reordering
+/// columns to the query's head order. This is the single point where vids
+/// become [`Value`]s again.
+fn decode_answers(rel: &Rel, head: &[Var], codec: &DbCodec<'_>) -> AnswerSet {
     let perm: Vec<usize> = head
         .iter()
         .map(|&v| rel.col_of(v).expect("plan head misses query head var"))
         .collect();
-    let identity = perm.iter().copied().eq(0..perm.len());
-    let mut rows = FxHashMap::default();
-    if identity {
-        rows = rel.rows;
-    } else {
-        for (k, s) in rel.rows {
-            let key: Box<[Value]> = perm.iter().map(|&c| k[c].clone()).collect();
-            rows.insert(key, s);
-        }
+    let mut rows: FxHashMap<Box<[Value]>, f64> =
+        FxHashMap::with_capacity_and_hasher(rel.rows.len(), Default::default());
+    for (k, &s) in &rel.rows {
+        let key: Box<[Value]> = perm
+            .iter()
+            .map(|&c| codec.decode(k.get(c)).clone())
+            .collect();
+        rows.insert(key, s);
     }
-    Ok(AnswerSet { vars: head, rows })
+    AnswerSet {
+        vars: head.to_vec(),
+        rows,
+    }
 }
 
 fn eval_node(
     db: &Database,
+    prepared: &[PreparedAtom],
     q: &Query,
     plan: &Plan,
     opts: ExecOptions,
-    cache: &mut FxHashMap<(u64, VarSet), Rel>,
+    ctx: &mut EvalCtx,
     skip_cache_here: bool,
-) -> Result<Rel, ExecError> {
+) -> Result<RcRel, ExecError> {
     let key = (plan.atoms_mask, plan.head);
     let cacheable =
         opts.reuse_views && !skip_cache_here && !matches!(plan.kind, PlanKind::Scan { .. });
     if cacheable {
-        if let Some(hit) = cache.get(&key) {
-            return Ok(hit.clone());
+        if let Some(hit) = ctx.views.get(&key) {
+            return Ok(Rc::clone(hit));
         }
     }
-    let result = match &plan.kind {
-        PlanKind::Scan { atom } => scan_atom(db, q, &q.atoms()[*atom], opts)?,
+    let result: RcRel = match &plan.kind {
+        PlanKind::Scan { atom } => match ctx.scans.get(atom) {
+            Some(hit) => Rc::clone(hit),
+            None => {
+                let scanned = Rc::new(scan_atom(db, &prepared[*atom], q, &q.atoms()[*atom], opts));
+                ctx.scans.insert(*atom, Rc::clone(&scanned));
+                scanned
+            }
+        },
         PlanKind::Project { input } => {
-            let child = eval_node(db, q, input, opts, cache, false)?;
+            let child = eval_node(db, prepared, q, input, opts, ctx, false)?;
             let keep: Vec<Var> = plan.head.iter().collect();
-            match opts.semantics {
+            Rc::new(match opts.semantics {
                 Semantics::Probabilistic => project_prob(&child, &keep),
                 Semantics::LowerBound => project_max(&child, &keep),
                 Semantics::Deterministic => project_det(&child, &keep),
-            }
+            })
         }
         PlanKind::Join { inputs } => {
             let children = inputs
                 .iter()
-                .map(|c| eval_node(db, q, c, opts, cache, false))
+                .map(|c| eval_node(db, prepared, q, c, opts, ctx, false))
                 .collect::<Result<Vec<_>, _>>()?;
-            join_many(children)
+            let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
+            Rc::new(join_many_refs(&refs))
         }
         PlanKind::Min { inputs } => {
             // Branch children share this node's subquery key but are
             // *different* subplans: they must not be cached under it.
             let children = inputs
                 .iter()
-                .map(|c| eval_node(db, q, c, opts, cache, true))
+                .map(|c| eval_node(db, prepared, q, c, opts, ctx, true))
                 .collect::<Result<Vec<_>, _>>()?;
-            min_combine(&children)
+            let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
+            Rc::new(min_combine_refs(&refs))
         }
     };
     if cacheable {
-        cache.insert(key, result.clone());
+        ctx.views.insert(key, Rc::clone(&result));
     }
     Ok(result)
 }
 
 /// Scan one atom: filter by constants, repeated variables, and selection
-/// predicates; output the atom's distinct variables.
-fn scan_atom(db: &Database, q: &Query, atom: &Atom, opts: ExecOptions) -> Result<Rel, ExecError> {
-    let rel = db
-        .relation_by_name(&atom.relation)
-        .map_err(|_| ExecError::UnknownRelation(atom.relation.clone()))?;
-    if rel.arity() != atom.terms.len() {
-        return Err(ExecError::AtomArity {
-            relation: atom.relation.clone(),
-            relation_arity: rel.arity(),
-            atom_arity: atom.terms.len(),
-        });
-    }
-
-    // Output column per first occurrence of each variable.
-    let mut out_vars: Vec<Var> = Vec::new();
-    let mut out_cols: Vec<usize> = Vec::new();
-    // Filters.
-    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
-    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
-    for (c, term) in atom.terms.iter().enumerate() {
-        match term {
-            Term::Const(v) => const_filters.push((c, v)),
-            Term::Var(v) => match out_vars.iter().position(|u| u == v) {
-                Some(first) => eq_filters.push((out_cols[first], c)),
-                None => {
-                    out_vars.push(*v);
-                    out_cols.push(c);
-                }
-            },
-        }
-    }
-    // Selection predicates on this atom's variables.
-    let preds: Vec<(usize, &lapush_query::Predicate)> = q
-        .predicates()
-        .iter()
-        .filter_map(|p| {
-            out_vars
-                .iter()
-                .position(|&v| v == p.var)
-                .map(|i| (out_cols[i], p))
-        })
-        .collect();
-
-    let mut out = Rel::empty(out_vars);
-    'rows: for (_, row, prob) in rel.iter() {
-        for &(c, val) in &const_filters {
-            if &row[c] != val {
-                continue 'rows;
-            }
-        }
-        for &(c1, c2) in &eq_filters {
-            if row[c1] != row[c2] {
-                continue 'rows;
-            }
-        }
-        for &(c, p) in &preds {
-            if !p.op.eval(&row[c], &p.value) {
-                continue 'rows;
-            }
-        }
-        let key: Box<[Value]> = out_cols.iter().map(|&c| row[c].clone()).collect();
+/// predicates; output the atom's distinct variables as encoded rows.
+///
+/// Constant and repeated-variable filters run on vids (equal values ⇔
+/// equal vids); order/pattern predicates are not id-representable and run
+/// on the stored values before the row enters the encoded pipeline. The
+/// atom was resolved and encoded by [`prepare_atoms`]; no lock is held
+/// here.
+fn scan_atom(db: &Database, prep: &PreparedAtom, q: &Query, atom: &Atom, opts: ExecOptions) -> Rel {
+    let rel = db.relation(prep.rel);
+    let shape = ScanShape::of(q, atom);
+    // Pre-size the output only for unfiltered scans (there it is exact up
+    // to in-atom duplicates); a selective filter over a large relation
+    // must not allocate a full-size table.
+    let cap = if shape.is_unfiltered(prep) {
+        rel.len()
+    } else {
+        0
+    };
+    let mut out = Rel::with_capacity(shape.out_vars.clone(), cap);
+    prep.for_each_surviving_row(rel, &shape, |i, row| {
+        let key = RowKey::from_fn(shape.out_cols.len(), |j| row[shape.out_cols[j]]);
         let score = match opts.semantics {
-            Semantics::Probabilistic | Semantics::LowerBound => prob,
+            Semantics::Probabilistic | Semantics::LowerBound => rel.prob(i),
             Semantics::Deterministic => 1.0,
         };
         out.insert_max(key, score);
-    }
-    Ok(out)
+    });
+    out
 }
 
 /// Evaluate a set of plans and combine their scores with a per-tuple
@@ -308,12 +335,27 @@ pub fn propagation_score(
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
     assert!(!plans.is_empty(), "no plans to evaluate");
-    let mut acc = eval_plan(db, q, &plans[0], opts)?;
-    for p in &plans[1..] {
-        let next = eval_plan(db, q, p, opts)?;
-        acc.min_with(&next);
+    let prepared = prepare_atoms(db, q)?;
+    let mut ctx = EvalCtx::default();
+    let mut acc: Option<Rel> = None;
+    for p in plans {
+        // The subquery memo is per plan; the scan memo carries over.
+        ctx.views.clear();
+        let next = eval_node(db, &prepared, q, p, opts, &mut ctx, false)?;
+        match &mut acc {
+            None => {
+                // Drop this plan's view memo before unwrapping so the root
+                // Rc is normally unique and no map copy happens; only a
+                // bare scan root (single-atom plan, shared with the scan
+                // memo) still pays a small clone.
+                ctx.views.clear();
+                acc = Some(Rc::try_unwrap(next).unwrap_or_else(|rc| (*rc).clone()));
+            }
+            Some(acc) => min_into(acc, &next),
+        }
     }
-    Ok(acc)
+    let acc = acc.expect("at least one plan");
+    Ok(decode_answers(&acc, q.head(), &db.codec()))
 }
 
 /// The "standard SQL" baseline: evaluate the query under set semantics with
@@ -324,18 +366,16 @@ pub fn deterministic_answers(db: &Database, q: &Query) -> Result<AnswerSet, Exec
         semantics: Semantics::Deterministic,
         reuse_views: false,
     };
-    let scans = q
+    let prepared = prepare_atoms(db, q)?;
+    let scans: Vec<Rel> = q
         .atoms()
         .iter()
-        .map(|a| scan_atom(db, q, a, opts))
-        .collect::<Result<Vec<_>, _>>()?;
+        .zip(&prepared)
+        .map(|(a, prep)| scan_atom(db, prep, q, a, opts))
+        .collect();
     let joined = join_many(scans);
-    let head: Vec<Var> = q.head().to_vec();
-    let projected = project_det(&joined, &head);
-    Ok(AnswerSet {
-        vars: head,
-        rows: projected.rows,
-    })
+    let projected = project_det(&joined, q.head());
+    Ok(decode_answers(&projected, q.head(), &db.codec()))
 }
 
 #[cfg(test)]

@@ -17,8 +17,38 @@
 //!   semi-join reduction applied to the base relations before probabilistic
 //!   evaluation.
 //! * deterministic (set) semantics for the "standard SQL" baseline.
+//!
+//! ## Dictionary-encoded execution
+//!
+//! The executor never manipulates `Value`s on its hot paths. Each
+//! evaluation first encodes the query's base relations through the
+//! database's value codec (`lapush_storage::Database::codec`) under one
+//! short-lived lock: every distinct value is interned once into a dense
+//! `u32` vid, and encoded base columns are cached on the database, so
+//! repeated evaluations pay nothing and concurrent evaluations only
+//! serialize on the brief encode/decode sections. From there on every
+//! intermediate [`Rel`] keys its rows by `lapush_storage::RowKey` — a
+//! short vid sequence stored inline for arity ≤ 3 — and all operators
+//! (hash joins, the three projections, `min`, semi-join membership)
+//! compare and hash integers only.
+//!
+//! **Decode-at-the-boundary invariant:** vids become `Value`s exactly once
+//! per evaluation, when the final encoded relation is turned into the
+//! public [`AnswerSet`] (and, symmetrically, when `lapush_lineage`
+//! materializes answer keys). Everything the engine returns is therefore
+//! bit-for-bit identical to a value-level evaluation — interning is
+//! injective, so equality joins and duplicate elimination are preserved
+//! exactly, and order/`LIKE` predicates are evaluated on the stored values
+//! at scan time *before* rows enter the encoded pipeline (vids are
+//! assigned in first-seen order and carry no value order).
+//!
+//! Evaluation shares intermediates instead of copying them: scan results
+//! are memoized per atom (across all plans of a `propagation_score` call)
+//! and Optimization 2's view memo hands out reference-counted relations,
+//! so a cache hit costs a pointer bump, not a hash-map clone.
 
 pub mod exec;
+pub mod prepare;
 pub mod rel;
 pub mod semijoin;
 

@@ -1,18 +1,25 @@
 //! Intermediate relations and the physical operators.
+//!
+//! All operators here run on dictionary-encoded rows: a [`Rel`] holds
+//! [`RowKey`]s of dense `u32` vids (see `lapush_storage::intern`), not
+//! `Value`s. Join keys, group keys and duplicate detection therefore hash
+//! and compare plain integers; nothing on these paths allocates per value
+//! or touches an `Arc`. Scans encode (in `exec`), the answer-set boundary
+//! decodes — everything in between stays in id space.
 
 use lapush_query::Var;
-use lapush_storage::{FxHashMap, Value};
+use lapush_storage::{FxHashMap, RowKey};
 
 /// An intermediate result: a bag of distinct variable bindings with scores.
 ///
-/// `vars` fixes the column order; `rows` maps a binding (values aligned with
-/// `vars`) to its score.
+/// `vars` fixes the column order; `rows` maps an encoded binding (vids
+/// aligned with `vars`) to its score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rel {
     /// Column variables, in order.
     pub vars: Vec<Var>,
-    /// Distinct bindings with scores.
-    pub rows: FxHashMap<Box<[Value]>, f64>,
+    /// Distinct encoded bindings with scores.
+    pub rows: FxHashMap<RowKey, f64>,
 }
 
 impl Rel {
@@ -21,6 +28,15 @@ impl Rel {
         Rel {
             vars,
             rows: FxHashMap::default(),
+        }
+    }
+
+    /// Empty relation with room for `cap` rows (scans know their input
+    /// size; avoids rehash-and-move during the fill).
+    pub fn with_capacity(vars: Vec<Var>, cap: usize) -> Self {
+        Rel {
+            vars,
+            rows: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
         }
     }
 
@@ -42,7 +58,7 @@ impl Rel {
     /// Insert a row, combining duplicates with `max` (set semantics keeps
     /// the strongest derivation; duplicates only arise from re-inserted
     /// identical bindings).
-    pub fn insert_max(&mut self, key: Box<[Value]>, score: f64) {
+    pub fn insert_max(&mut self, key: RowKey, score: f64) {
         self.rows
             .entry(key)
             .and_modify(|s| *s = s.max(score))
@@ -69,23 +85,25 @@ pub fn join(left: &Rel, right: &Rel) -> Rel {
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
     let mut out = Rel::empty(out_vars);
 
-    // Index the right input by its join-key values.
-    type Bucket<'a> = Vec<(&'a Box<[Value]>, f64)>;
-    let mut index: FxHashMap<Box<[Value]>, Bucket<'_>> = FxHashMap::default();
+    // Index the right input by its join-key vids.
+    type Bucket<'a> = Vec<(&'a RowKey, f64)>;
+    let mut index: FxHashMap<RowKey, Bucket<'_>> = FxHashMap::default();
     for (rkey, &rscore) in &right.rows {
-        let jk: Box<[Value]> = shared.iter().map(|&(_, ri)| rkey[ri].clone()).collect();
+        let jk = RowKey::from_fn(shared.len(), |i| rkey.get(shared[i].1));
         index.entry(jk).or_default().push((rkey, rscore));
     }
 
     for (lkey, &lscore) in &left.rows {
-        let jk: Box<[Value]> = shared.iter().map(|&(li, _)| lkey[li].clone()).collect();
+        let jk = RowKey::from_fn(shared.len(), |i| lkey.get(shared[i].0));
         let Some(matches) = index.get(&jk) else {
             continue;
         };
         for (rkey, rscore) in matches {
-            let mut row: Vec<Value> = lkey.to_vec();
-            row.extend(right_only.iter().map(|&ri| rkey[ri].clone()));
-            out.insert_max(row.into_boxed_slice(), lscore * rscore);
+            let row: RowKey = lkey
+                .iter()
+                .chain(right_only.iter().map(|&ri| rkey.get(ri)))
+                .collect();
+            out.insert_max(row, lscore * rscore);
         }
     }
     out
@@ -93,33 +111,62 @@ pub fn join(left: &Rel, right: &Rel) -> Rel {
 
 /// Join many relations. Children are folded left-to-right after a greedy
 /// reordering that keeps the accumulated result connected (avoids cartesian
-/// products when possible) and starts from the smallest input.
+/// products when possible) and starts from the smallest input. When no
+/// remaining input shares a variable with the accumulator (a cartesian
+/// product is unavoidable), the smallest remaining relation is taken to
+/// keep the blow-up minimal.
 pub fn join_many(mut inputs: Vec<Rel>) -> Rel {
     assert!(!inputs.is_empty(), "join of zero inputs");
     if inputs.len() == 1 {
         return inputs.pop().expect("one element");
     }
+    let refs: Vec<&Rel> = inputs.iter().collect();
+    join_many_refs(&refs)
+}
+
+/// [`join_many`] over borrowed inputs (the evaluator shares children
+/// through its memo caches and must not clone them to join).
+pub fn join_many_refs(inputs: &[&Rel]) -> Rel {
+    assert!(!inputs.is_empty(), "join of zero inputs");
+    if inputs.len() == 1 {
+        return inputs[0].clone();
+    }
+    let mut remaining: Vec<&Rel> = inputs.to_vec();
     // Start with the smallest relation.
-    let start = inputs
+    let start = remaining
         .iter()
         .enumerate()
         .min_by_key(|(_, r)| r.len())
         .map(|(i, _)| i)
         .expect("non-empty");
-    let mut acc = inputs.swap_remove(start);
-    while !inputs.is_empty() {
-        // Prefer the smallest input sharing a variable with `acc`.
-        let next = inputs
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.vars.iter().any(|v| acc.col_of(*v).is_some()))
-            .min_by_key(|(_, r)| r.len())
-            .map(|(i, _)| i)
-            .unwrap_or(0); // cartesian product unavoidable
-        let rel = inputs.swap_remove(next);
-        acc = join(&acc, &rel);
+    let first = remaining.swap_remove(start);
+    let second = remaining.swap_remove(pick_next(&remaining, first));
+    let mut acc = join(first, second);
+    while !remaining.is_empty() {
+        let rel = remaining.swap_remove(pick_next(&remaining, &acc));
+        acc = join(&acc, rel);
     }
     acc
+}
+
+/// Greedy pick for [`join_many_refs`]: the smallest input sharing a
+/// variable with the accumulator, else (cartesian product unavoidable) the
+/// smallest input overall — one pass, keyed (disconnected, len).
+fn pick_next(remaining: &[&Rel], acc: &Rel) -> usize {
+    remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| {
+            let disconnected = r.vars.iter().all(|v| acc.col_of(*v).is_none());
+            (disconnected, r.len())
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Group key of `input`'s row `key` under the projection columns `cols`.
+fn group_key(key: &RowKey, cols: &[usize]) -> RowKey {
+    RowKey::from_fn(cols.len(), |i| key.get(cols[i]))
 }
 
 /// Probabilistic projection with duplicate elimination: group by `keep`
@@ -131,14 +178,12 @@ pub fn project_prob(input: &Rel, keep: &[Var]) -> Rel {
         .map(|&v| input.col_of(v).expect("projection var missing"))
         .collect();
     let mut out = Rel::empty(keep.to_vec());
-    // Accumulate ∏(1 − pᵢ) per group.
-    let mut not_any: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
+    // Accumulate ∏(1 − pᵢ) per group, then flip in place.
     for (key, &score) in &input.rows {
-        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
-        *not_any.entry(group).or_insert(1.0) *= 1.0 - score;
+        *out.rows.entry(group_key(key, &cols)).or_insert(1.0) *= 1.0 - score;
     }
-    for (group, na) in not_any {
-        out.rows.insert(group, 1.0 - na);
+    for na in out.rows.values_mut() {
+        *na = 1.0 - *na;
     }
     out
 }
@@ -152,8 +197,7 @@ pub fn project_max(input: &Rel, keep: &[Var]) -> Rel {
         .collect();
     let mut out = Rel::empty(keep.to_vec());
     for (key, &score) in &input.rows {
-        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
-        out.insert_max(group, score);
+        out.insert_max(group_key(key, &cols), score);
     }
     out
 }
@@ -167,10 +211,35 @@ pub fn project_det(input: &Rel, keep: &[Var]) -> Rel {
         .collect();
     let mut out = Rel::empty(keep.to_vec());
     for key in input.rows.keys() {
-        let group: Box<[Value]> = cols.iter().map(|&c| key[c].clone()).collect();
-        out.rows.insert(group, 1.0);
+        out.rows.insert(group_key(key, &cols), 1.0);
     }
     out
+}
+
+/// Fold `next` into `acc` by per-tuple minimum, aligning `next`'s columns
+/// to `acc`'s order. The incremental form of [`min_combine`], used by
+/// `propagation_score` to accumulate the min over plans without leaving
+/// the encoded representation.
+pub fn min_into(acc: &mut Rel, next: &Rel) {
+    let perm: Vec<usize> = acc
+        .vars
+        .iter()
+        .map(|&v| next.col_of(v).expect("min over mismatched vars"))
+        .collect();
+    let identity = perm.iter().copied().eq(0..perm.len());
+    for (key, &score) in &next.rows {
+        let akey = if identity {
+            key.clone()
+        } else {
+            group_key(key, &perm)
+        };
+        match acc.rows.get_mut(&akey) {
+            Some(s) => *s = s.min(score),
+            None => {
+                acc.rows.insert(akey, score);
+            }
+        }
+    }
 }
 
 /// Per-tuple minimum across alternative results for the same subquery
@@ -178,34 +247,18 @@ pub fn project_det(input: &Rel, keep: &[Var]) -> Rel {
 /// variables (column order may differ) and, for plans of the same query,
 /// the same key set.
 pub fn min_combine(inputs: &[Rel]) -> Rel {
+    let refs: Vec<&Rel> = inputs.iter().collect();
+    min_combine_refs(&refs)
+}
+
+/// [`min_combine`] over borrowed inputs.
+pub fn min_combine_refs(inputs: &[&Rel]) -> Rel {
     assert!(!inputs.is_empty(), "min of zero inputs");
-    let base = &inputs[0];
+    let base = inputs[0];
     let mut out = Rel::empty(base.vars.clone());
     out.rows = base.rows.clone();
     for rel in &inputs[1..] {
-        // Align columns to the base order.
-        let perm: Vec<usize> = base
-            .vars
-            .iter()
-            .map(|&v| rel.col_of(v).expect("min over mismatched vars"))
-            .collect();
-        let identity = perm.iter().copied().eq(0..perm.len());
-        for (key, &score) in &rel.rows {
-            let akey: Box<[Value]> = if identity {
-                key.clone()
-            } else {
-                perm.iter().map(|&c| key[c].clone()).collect()
-            };
-            match out.rows.get_mut(&akey) {
-                Some(s) => *s = s.min(score),
-                // Plans of the same query agree on the answer set; a miss
-                // can only stem from caller misuse. Keep the smaller score
-                // interpretation: insert as-is.
-                None => {
-                    out.rows.insert(akey, score);
-                }
-            }
-        }
+        min_into(&mut out, rel);
     }
     out
 }
@@ -213,19 +266,29 @@ pub fn min_combine(inputs: &[Rel]) -> Rel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lapush_storage::Value;
+    use lapush_storage::Vid;
 
     fn v(i: u32) -> Var {
         Var(i)
     }
 
+    /// Tests build vids directly; in production they come from the
+    /// database's interner.
+    fn vid(i: i64) -> Vid {
+        i as Vid
+    }
+
     fn rel(vars: &[u32], rows: &[(&[i64], f64)]) -> Rel {
         let mut r = Rel::empty(vars.iter().map(|&i| v(i)).collect());
         for (key, score) in rows {
-            let k: Box<[Value]> = key.iter().map(|&x| Value::Int(x)).collect();
+            let k = RowKey::from_fn(key.len(), |i| vid(key[i]));
             r.rows.insert(k, *score);
         }
         r
+    }
+
+    fn key(vids: &[i64]) -> RowKey {
+        RowKey::from_fn(vids.len(), |i| vid(vids[i]))
     }
 
     #[test]
@@ -236,8 +299,7 @@ mod tests {
         let j = join(&r, &s);
         assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
         assert_eq!(j.len(), 2);
-        let k: Box<[Value]> = [1, 10, 100].iter().map(|&x| Value::Int(x)).collect();
-        assert!((j.rows[&k] - 0.25).abs() < 1e-12);
+        assert!((j.rows[&key(&[1, 10, 100])] - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -269,6 +331,33 @@ mod tests {
     }
 
     #[test]
+    fn join_many_cartesian_fallback_picks_smallest() {
+        // Three disconnected components: {v0}, {v4}, and {v1, v2}. The
+        // start pick is `a_small` (first 1-row input), which shares no
+        // variable with anything, so the very next pick is the cartesian
+        // fallback: it must take the 1-row `b` (v1), not index 0 (`a_big`,
+        // v0, 3 rows) as the old code did. `c` then joins `b` on v1 and
+        // `a_big` comes last.
+        let a_big = rel(&[0], &[(&[1], 0.5), (&[2], 0.5), (&[3], 0.5)]);
+        let a_small = rel(&[4], &[(&[9], 0.5)]);
+        let b = rel(&[1], &[(&[5], 0.5)]);
+        let c = rel(&[1, 2], &[(&[5, 6], 0.5), (&[5, 7], 0.5)]);
+        let j = join_many(vec![a_big, a_small, b, c]);
+        // Result is the full cartesian product either way; the fallback
+        // order only shows in the output column layout (joins append the
+        // right input's new columns). Starting from `a_small` (v4), the
+        // fallback must fold in the 1-row `b` (v1) before the 3-row
+        // `a_big` (v0) — the old index-0 fallback did the opposite.
+        assert_eq!(j.len(), 6);
+        let pos = |var: Var| j.vars.iter().position(|&u| u == var).unwrap();
+        assert!(
+            pos(v(1)) < pos(v(0)),
+            "smallest disconnected input should join first: vars {:?}",
+            j.vars
+        );
+    }
+
+    #[test]
     fn project_prob_independent_or() {
         let r = rel(
             &[0, 1],
@@ -276,10 +365,8 @@ mod tests {
         );
         let p = project_prob(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
-        let k1: Box<[Value]> = [Value::Int(1)].into();
-        let k2: Box<[Value]> = [Value::Int(2)].into();
-        assert!((p.rows[&k1] - 0.75).abs() < 1e-12);
-        assert!((p.rows[&k2] - 0.3).abs() < 1e-12);
+        assert!((p.rows[&key(&[1])] - 0.75).abs() < 1e-12);
+        assert!((p.rows[&key(&[2])] - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -287,8 +374,7 @@ mod tests {
         let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.5)]);
         let p = project_prob(&r, &[]);
         assert_eq!(p.len(), 1);
-        let k: Box<[Value]> = Box::new([]);
-        assert!((p.rows[&k] - 0.75).abs() < 1e-12);
+        assert!((p.rows[&RowKey::empty()] - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -304,10 +390,8 @@ mod tests {
         let a = rel(&[0], &[(&[1], 0.8), (&[2], 0.3)]);
         let b = rel(&[0], &[(&[1], 0.5), (&[2], 0.7)]);
         let m = min_combine(&[a, b]);
-        let k1: Box<[Value]> = [Value::Int(1)].into();
-        let k2: Box<[Value]> = [Value::Int(2)].into();
-        assert!((m.rows[&k1] - 0.5).abs() < 1e-12);
-        assert!((m.rows[&k2] - 0.3).abs() < 1e-12);
+        assert!((m.rows[&key(&[1])] - 0.5).abs() < 1e-12);
+        assert!((m.rows[&key(&[2])] - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -315,11 +399,9 @@ mod tests {
         let a = rel(&[0, 1], &[(&[1, 10], 0.8)]);
         // Same rows, but with columns swapped.
         let mut b = Rel::empty(vec![v(1), v(0)]);
-        let k: Box<[Value]> = [Value::Int(10), Value::Int(1)].into();
-        b.rows.insert(k, 0.2);
+        b.rows.insert(key(&[10, 1]), 0.2);
         let m = min_combine(&[a, b]);
-        let k: Box<[Value]> = [Value::Int(1), Value::Int(10)].into();
-        assert!((m.rows[&k] - 0.2).abs() < 1e-12);
+        assert!((m.rows[&key(&[1, 10])] - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -330,10 +412,8 @@ mod tests {
         );
         let p = project_max(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
-        let k1: Box<[Value]> = [Value::Int(1)].into();
-        let k2: Box<[Value]> = [Value::Int(2)].into();
-        assert!((p.rows[&k1] - 0.8).abs() < 1e-12);
-        assert!((p.rows[&k2] - 0.3).abs() < 1e-12);
+        assert!((p.rows[&key(&[1])] - 0.8).abs() < 1e-12);
+        assert!((p.rows[&key(&[2])] - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -341,17 +421,29 @@ mod tests {
         let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.8)]);
         let lo = project_max(&r, &[v(0)]);
         let hi = project_prob(&r, &[v(0)]);
-        let k: Box<[Value]> = [Value::Int(1)].into();
-        assert!(lo.rows[&k] <= hi.rows[&k]);
+        assert!(lo.rows[&key(&[1])] <= hi.rows[&key(&[1])]);
     }
 
     #[test]
     fn insert_max_keeps_strongest() {
         let mut r = Rel::empty(vec![v(0)]);
-        let k: Box<[Value]> = [Value::Int(1)].into();
-        r.insert_max(k.clone(), 0.3);
-        r.insert_max(k.clone(), 0.6);
-        r.insert_max(k.clone(), 0.1);
-        assert!((r.rows[&k] - 0.6).abs() < 1e-12);
+        r.insert_max(key(&[1]), 0.3);
+        r.insert_max(key(&[1]), 0.6);
+        r.insert_max(key(&[1]), 0.1);
+        assert!((r.rows[&key(&[1])] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_rows_spill_and_still_join() {
+        // Arity 5 exceeds the RowKey inline capacity; join must behave
+        // identically.
+        let r = rel(&[0, 1, 2, 3, 4], &[(&[1, 2, 3, 4, 5], 0.5)]);
+        let s = rel(&[4, 5], &[(&[5, 6], 0.5)]);
+        let j = join(&r, &s);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.vars.len(), 6);
+        assert!((j.rows[&key(&[1, 2, 3, 4, 5, 6])] - 0.25).abs() < 1e-12);
+        let p = project_prob(&j, &[v(0), v(5)]);
+        assert!((p.rows[&key(&[1, 6])] - 0.25).abs() < 1e-12);
     }
 }

@@ -6,20 +6,31 @@
 //! variables until a fixpoint. The expensive probabilistic group-bys then
 //! run on (often much) smaller inputs. For acyclic queries this is a full
 //! reducer (Yannakakis); for cyclic queries it is still a sound filter.
+//!
+//! The passes run on the database's dictionary-encoded columns: semi-join
+//! membership tests hash and compare vids, never values. The codec lock is
+//! held only while the query's relations are encoded up front; the passes
+//! themselves run lock-free on the shared encoded cells.
 
+use crate::prepare::{prepare_atoms_lenient, PreparedAtom, ScanShape};
 use lapush_query::{Atom, Query, Term, Var};
-use lapush_storage::{Database, FxHashMap, FxHashSet, Value};
+use lapush_storage::{Database, FxHashSet, RowKey};
 
 /// Reduce the database for the given query. Returns a new database holding,
 /// for every relation mentioned by the query, only the tuples that survive
 /// selection and semi-join reduction. Relations not mentioned by the query
 /// are copied unchanged.
 pub fn reduce_database(db: &Database, q: &Query) -> Database {
+    // An unpreparable atom (missing relation / wrong arity) has no
+    // surviving rows; evaluation will report the error downstream.
+    let preps = prepare_atoms_lenient(db, q);
     // Per atom: surviving row indices.
-    let mut survivors: Vec<Vec<u32>> = Vec::with_capacity(q.atoms().len());
-    for atom in q.atoms() {
-        survivors.push(initial_survivors(db, q, atom));
-    }
+    let mut survivors: Vec<Vec<u32>> = q
+        .atoms()
+        .iter()
+        .zip(&preps)
+        .map(|(atom, prep)| initial_survivors(db, q, atom, prep.as_ref()))
+        .collect();
 
     // Semi-join passes until fixpoint.
     loop {
@@ -33,7 +44,7 @@ pub fn reduce_database(db: &Database, q: &Query) -> Database {
                 if shared.is_empty() {
                     continue;
                 }
-                changed |= semijoin_pass(db, q, i, j, &shared, &mut survivors);
+                changed |= semijoin_pass(&preps, i, j, &shared, &mut survivors);
             }
         }
         if !changed {
@@ -41,7 +52,9 @@ pub fn reduce_database(db: &Database, q: &Query) -> Database {
         }
     }
 
-    // Build the reduced database.
+    // Build the reduced database. Queries are self-join-free (enforced by
+    // the AST: relation names are unique per query), so a relation maps to
+    // at most one atom and its survivor set.
     let mut out = Database::new();
     for (_, rel) in db.relations() {
         let atom_idx = q.atoms().iter().position(|a| a.relation == rel.name());
@@ -78,53 +91,22 @@ pub fn reduce_database(db: &Database, q: &Query) -> Database {
 }
 
 /// Rows of the atom's relation passing constant/equality/predicate filters.
-fn initial_survivors(db: &Database, q: &Query, atom: &Atom) -> Vec<u32> {
-    let Ok(rel) = db.relation_by_name(&atom.relation) else {
+///
+/// Constant and repeated-variable filters compare vids on the encoded
+/// columns; order/pattern predicates run on the stored values.
+fn initial_survivors(
+    db: &Database,
+    q: &Query,
+    atom: &Atom,
+    prep: Option<&PreparedAtom>,
+) -> Vec<u32> {
+    let Some(prep) = prep else {
         return Vec::new();
     };
-    if rel.arity() != atom.terms.len() {
-        return Vec::new();
-    }
-    let mut var_first: FxHashMap<Var, usize> = FxHashMap::default();
-    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
-    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
-    for (c, term) in atom.terms.iter().enumerate() {
-        match term {
-            Term::Const(v) => const_filters.push((c, v)),
-            Term::Var(v) => {
-                if let Some(&first) = var_first.get(v) {
-                    eq_filters.push((first, c));
-                } else {
-                    var_first.insert(*v, c);
-                }
-            }
-        }
-    }
-    let preds: Vec<(usize, &lapush_query::Predicate)> = q
-        .predicates()
-        .iter()
-        .filter_map(|p| var_first.get(&p.var).map(|&c| (c, p)))
-        .collect();
-
+    let rel = db.relation(prep.rel);
+    let shape = ScanShape::of(q, atom);
     let mut out = Vec::new();
-    'rows: for (i, row, _) in rel.iter() {
-        for &(c, v) in &const_filters {
-            if &row[c] != v {
-                continue 'rows;
-            }
-        }
-        for &(c1, c2) in &eq_filters {
-            if row[c1] != row[c2] {
-                continue 'rows;
-            }
-        }
-        for &(c, p) in &preds {
-            if !p.op.eval(&row[c], &p.value) {
-                continue 'rows;
-            }
-        }
-        out.push(i);
-    }
+    prep.for_each_surviving_row(rel, &shape, |i, _| out.push(i));
     out
 }
 
@@ -149,39 +131,38 @@ fn shared_vars(a: &Atom, b: &Atom) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// One semi-join pass: keep rows of atom `i` whose shared-variable values
+/// One semi-join pass: keep rows of atom `i` whose shared-variable vids
 /// appear in atom `j`'s surviving rows. Returns true if `i` shrank.
 fn semijoin_pass(
-    db: &Database,
-    q: &Query,
+    preps: &[Option<PreparedAtom>],
     i: usize,
     j: usize,
     shared: &[(usize, usize)],
     survivors: &mut [Vec<u32>],
 ) -> bool {
-    let rel_i = db
-        .relation_by_name(&q.atoms()[i].relation)
-        .expect("checked in initial_survivors");
-    let rel_j = db
-        .relation_by_name(&q.atoms()[j].relation)
-        .expect("checked in initial_survivors");
+    if survivors[i].is_empty() {
+        return false;
+    }
+    if survivors[j].is_empty() {
+        survivors[i].clear();
+        return true;
+    }
+    // Non-empty survivor lists imply the atoms were prepared.
+    let pi = preps[i].as_ref().expect("survivors imply prepared atom");
+    let pj = preps[j].as_ref().expect("survivors imply prepared atom");
 
-    let keys_j: FxHashSet<Box<[Value]>> = survivors[j]
+    let keys_j: FxHashSet<RowKey> = survivors[j]
         .iter()
         .map(|&r| {
-            shared
-                .iter()
-                .map(|&(_, c2)| rel_j.row(r)[c2].clone())
-                .collect()
+            let row = &pj.cells[r as usize * pj.arity..(r as usize + 1) * pj.arity];
+            RowKey::from_fn(shared.len(), |s| row[shared[s].1])
         })
         .collect();
 
     let before = survivors[i].len();
     survivors[i].retain(|&r| {
-        let key: Box<[Value]> = shared
-            .iter()
-            .map(|&(c1, _)| rel_i.row(r)[c1].clone())
-            .collect();
+        let row = &pi.cells[r as usize * pi.arity..(r as usize + 1) * pi.arity];
+        let key = RowKey::from_fn(shared.len(), |s| row[shared[s].0]);
         keys_j.contains(&key)
     });
     survivors[i].len() != before

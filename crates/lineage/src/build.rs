@@ -1,8 +1,15 @@
 //! Lineage construction: the provenance-tracking deterministic join.
+//!
+//! The joins here run on the database's dictionary-encoded columns — the
+//! same vid representation the engine executes plans on — so binding keys
+//! hash and compare integers; answer keys are decoded to [`Value`]s once,
+//! when the per-answer DNFs are grouped. The codec lock is held only for
+//! the up-front encode and the final decode, never across the joins.
 
 use crate::formula::Dnf;
-use lapush_query::{Atom, Query, Term, Var};
-use lapush_storage::{Database, FxHashMap, TupleId, Value};
+use lapush_engine::prepare::{PrepareError, PreparedAtom, ScanShape};
+use lapush_query::{Atom, Query, Var};
+use lapush_storage::{Database, FxHashMap, RowKey, TupleId, Value};
 use std::fmt;
 
 /// Lineage of one answer tuple.
@@ -72,31 +79,42 @@ impl fmt::Display for LineageError {
 
 impl std::error::Error for LineageError {}
 
-/// Intermediate provenance relation: bindings plus contributing formula
-/// variables (not deduplicated — every join path is one implicant).
+/// Intermediate provenance relation: encoded bindings plus contributing
+/// formula variables (not deduplicated — every join path is one implicant).
 struct ProvRel {
     vars: Vec<Var>,
-    rows: Vec<(Box<[Value]>, Vec<u32>)>,
+    rows: Vec<(RowKey, Vec<u32>)>,
+}
+
+impl From<PrepareError> for LineageError {
+    fn from(e: PrepareError) -> Self {
+        match e {
+            PrepareError::UnknownRelation(r) => LineageError::UnknownRelation(r),
+            PrepareError::AtomArity { relation, .. } => LineageError::AtomArity(relation),
+        }
+    }
 }
 
 /// Build the lineage of every answer of `q` on `db` (paper Section 2:
 /// `F_{q,D} = ∨_θ θ(g₁) ∧ … ∧ θ(g_m)`).
 pub fn build_lineage(db: &Database, q: &Query) -> Result<Lineage, LineageError> {
+    let prepared = lapush_engine::prepare::prepare_atoms(db, q)?;
     let mut var_probs: Vec<f64> = Vec::new();
     let mut var_tuples: Vec<TupleId> = Vec::new();
     let mut tuple_to_var: FxHashMap<TupleId, u32> = FxHashMap::default();
 
     // Scan every atom with provenance.
     let mut scans: Vec<ProvRel> = Vec::with_capacity(q.atoms().len());
-    for atom in q.atoms() {
+    for (atom, prep) in q.atoms().iter().zip(&prepared) {
         scans.push(scan_atom(
             db,
+            prep,
             q,
             atom,
             &mut var_probs,
             &mut var_tuples,
             &mut tuple_to_var,
-        )?);
+        ));
     }
 
     // Greedy connected join order.
@@ -121,7 +139,9 @@ pub fn build_lineage(db: &Database, q: &Query) -> Result<Lineage, LineageError> 
         acc = prov_join(&acc, &rel);
     }
 
-    // Group by head variables.
+    // Group by head variables, decoding answer keys to values here — the
+    // lineage boundary, mirroring the engine's answer-set decode (codec
+    // re-locked briefly; vids are stable, so the late lookup is sound).
     let head_cols: Vec<usize> = q
         .head()
         .iter()
@@ -132,9 +152,13 @@ pub fn build_lineage(db: &Database, q: &Query) -> Result<Lineage, LineageError> 
                 .expect("head var bound in body")
         })
         .collect();
+    let codec = db.codec();
     let mut grouped: FxHashMap<Box<[Value]>, Vec<Vec<u32>>> = FxHashMap::default();
     for (key, prov) in acc.rows {
-        let akey: Box<[Value]> = head_cols.iter().map(|&c| key[c].clone()).collect();
+        let akey: Box<[Value]> = head_cols
+            .iter()
+            .map(|&c| codec.decode(key.get(c)).clone())
+            .collect();
         grouped.entry(akey).or_default().push(prov);
     }
     let mut answers: Vec<AnswerLineage> = grouped
@@ -155,78 +179,31 @@ pub fn build_lineage(db: &Database, q: &Query) -> Result<Lineage, LineageError> 
 
 fn scan_atom(
     db: &Database,
+    prep: &PreparedAtom,
     q: &Query,
     atom: &Atom,
     var_probs: &mut Vec<f64>,
     var_tuples: &mut Vec<TupleId>,
     tuple_to_var: &mut FxHashMap<TupleId, u32>,
-) -> Result<ProvRel, LineageError> {
-    let rel_id = db
-        .rel_id(&atom.relation)
-        .map_err(|_| LineageError::UnknownRelation(atom.relation.clone()))?;
-    let rel = db.relation(rel_id);
-    if rel.arity() != atom.terms.len() {
-        return Err(LineageError::AtomArity(atom.relation.clone()));
-    }
-
-    let mut out_vars: Vec<Var> = Vec::new();
-    let mut out_cols: Vec<usize> = Vec::new();
-    let mut const_filters: Vec<(usize, &Value)> = Vec::new();
-    let mut eq_filters: Vec<(usize, usize)> = Vec::new();
-    for (c, term) in atom.terms.iter().enumerate() {
-        match term {
-            Term::Const(v) => const_filters.push((c, v)),
-            Term::Var(v) => match out_vars.iter().position(|u| u == v) {
-                Some(first) => eq_filters.push((out_cols[first], c)),
-                None => {
-                    out_vars.push(*v);
-                    out_cols.push(c);
-                }
-            },
-        }
-    }
-    let preds: Vec<(usize, &lapush_query::Predicate)> = q
-        .predicates()
-        .iter()
-        .filter_map(|p| {
-            out_vars
-                .iter()
-                .position(|&v| v == p.var)
-                .map(|i| (out_cols[i], p))
-        })
-        .collect();
-
+) -> ProvRel {
+    let rel = db.relation(prep.rel);
+    let shape = ScanShape::of(q, atom);
     let mut rows = Vec::new();
-    'rows: for (i, row, prob) in rel.iter() {
-        for &(c, v) in &const_filters {
-            if &row[c] != v {
-                continue 'rows;
-            }
-        }
-        for &(c1, c2) in &eq_filters {
-            if row[c1] != row[c2] {
-                continue 'rows;
-            }
-        }
-        for &(c, p) in &preds {
-            if !p.op.eval(&row[c], &p.value) {
-                continue 'rows;
-            }
-        }
-        let tid = TupleId::new(rel_id, i);
+    prep.for_each_surviving_row(rel, &shape, |i, row| {
+        let tid = TupleId::new(prep.rel, i);
         let fv = *tuple_to_var.entry(tid).or_insert_with(|| {
             let v = var_probs.len() as u32;
-            var_probs.push(prob);
+            var_probs.push(rel.prob(i));
             var_tuples.push(tid);
             v
         });
-        let key: Box<[Value]> = out_cols.iter().map(|&c| row[c].clone()).collect();
+        let key = RowKey::from_fn(shape.out_cols.len(), |j| row[shape.out_cols[j]]);
         rows.push((key, vec![fv]));
-    }
-    Ok(ProvRel {
-        vars: out_vars,
+    });
+    ProvRel {
+        vars: shape.out_vars,
         rows,
-    })
+    }
 }
 
 fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
@@ -243,25 +220,27 @@ fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
     let mut out_vars = left.vars.clone();
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
 
-    let mut index: FxHashMap<Box<[Value]>, Vec<usize>> = FxHashMap::default();
+    let mut index: FxHashMap<RowKey, Vec<usize>> = FxHashMap::default();
     for (i, (rkey, _)) in right.rows.iter().enumerate() {
-        let jk: Box<[Value]> = shared.iter().map(|&(_, ri)| rkey[ri].clone()).collect();
+        let jk = RowKey::from_fn(shared.len(), |s| rkey.get(shared[s].1));
         index.entry(jk).or_default().push(i);
     }
 
     let mut rows = Vec::new();
     for (lkey, lprov) in &left.rows {
-        let jk: Box<[Value]> = shared.iter().map(|&(li, _)| lkey[li].clone()).collect();
+        let jk = RowKey::from_fn(shared.len(), |s| lkey.get(shared[s].0));
         let Some(matches) = index.get(&jk) else {
             continue;
         };
         for &ri in matches {
             let (rkey, rprov) = &right.rows[ri];
-            let mut key: Vec<Value> = lkey.to_vec();
-            key.extend(right_only.iter().map(|&c| rkey[c].clone()));
+            let key: RowKey = lkey
+                .iter()
+                .chain(right_only.iter().map(|&c| rkey.get(c)))
+                .collect();
             let mut prov = lprov.clone();
             prov.extend_from_slice(rprov);
-            rows.push((key.into_boxed_slice(), prov));
+            rows.push((key, prov));
         }
     }
     ProvRel {

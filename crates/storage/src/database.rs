@@ -2,28 +2,172 @@
 
 use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
+use crate::intern::{ValueInterner, Vid};
 use crate::relation::Relation;
 use crate::tuple::TupleId;
 use crate::value::Value;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Ordinal of a relation inside a [`Database`] (matches [`TupleId::rel`]).
 pub type RelId = u32;
+
+/// The database's value dictionary plus per-relation encoded columns.
+///
+/// Lives behind a mutex inside [`Database`] so encoding can be maintained
+/// lazily through the engine's `&Database` entry points: the first scan
+/// after a relation is loaded (or grows) interns its values and caches the
+/// encoded columns; every later scan reuses them. Relations are append-only
+/// (tuples are never removed and payloads never rewritten in place), so
+/// `encoded-cell count == len × arity` is a complete freshness check and
+/// interned ids never dangle.
+#[derive(Debug, Clone, Default)]
+struct Codec {
+    interner: ValueInterner,
+    /// Per-relation row-major encoded cells (`len × arity` vids), or `None`
+    /// when the relation has not been encoded yet.
+    rels: Vec<Option<Arc<[Vid]>>>,
+}
+
+/// Locked view over a database's value codec (see [`Database::codec`]).
+///
+/// Hands the engine everything the dictionary-encoded execution path needs:
+/// encoded base relations ([`DbCodec::encoded`]), constant translation
+/// ([`DbCodec::vid_of`]) and boundary decoding ([`DbCodec::decode`]). Holds
+/// the codec lock for its lifetime — keep guards short-lived (the engine
+/// locks once to encode a query's relations up front and once to decode
+/// the final answers; evaluation in between runs lock-free on the returned
+/// `Arc` cells, so concurrent evaluations never serialize on each other).
+pub struct DbCodec<'a> {
+    db: &'a Database,
+    inner: MutexGuard<'a, Codec>,
+}
+
+impl DbCodec<'_> {
+    /// Encoded cells of relation `id`, row-major (`row * arity + col`),
+    /// interning and caching them on first access. When the relation has
+    /// grown since the last call, only the appended rows are interned —
+    /// relations are append-only and vids are stable, so the cached prefix
+    /// is reused verbatim.
+    pub fn encoded(&mut self, id: RelId) -> Arc<[Vid]> {
+        let rel = self.db.relation(id);
+        let arity = rel.arity();
+        let need = rel.len() * arity;
+        let idx = id as usize;
+        if self.inner.rels.len() <= idx {
+            self.inner.rels.resize(idx + 1, None);
+        }
+        if let Some(enc) = &self.inner.rels[idx] {
+            if enc.len() == need {
+                return enc.clone();
+            }
+        }
+        let prev = self.inner.rels[idx].take();
+        let mut vids: Vec<Vid> = Vec::with_capacity(need);
+        let mut start_row = 0;
+        if let Some(prev) = prev.filter(|p| arity > 0 && p.len() % arity == 0 && p.len() < need) {
+            vids.extend_from_slice(&prev);
+            start_row = prev.len() / arity;
+        }
+        let interner = &mut self.inner.interner;
+        for row in &rel.rows()[start_row..] {
+            for v in row.iter() {
+                vids.push(interner.intern(v));
+            }
+        }
+        let enc: Arc<[Vid]> = vids.into();
+        self.inner.rels[idx] = Some(enc.clone());
+        enc
+    }
+
+    /// Id of a value, if interned. Only meaningful after [`DbCodec::encoded`]
+    /// has been called on the relations whose cells the id will be compared
+    /// against: a miss then proves the value occurs in none of them.
+    pub fn vid_of(&self, v: &Value) -> Option<Vid> {
+        self.inner.interner.lookup(v)
+    }
+
+    /// Decode one vid back to its value (the answer-set boundary).
+    pub fn decode(&self, vid: Vid) -> &Value {
+        self.inner.interner.resolve(vid)
+    }
+
+    /// The underlying interner.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.inner.interner
+    }
+}
 
 /// A tuple-independent probabilistic database.
 ///
 /// Owns its [`Relation`]s and provides name-based lookup. The database is the
 /// unit over which queries are evaluated and over which lineage tuple ids
-/// ([`TupleId`]) are scoped.
-#[derive(Debug, Clone, Default)]
+/// ([`TupleId`]) are scoped. It also owns the [`ValueInterner`] that backs
+/// dictionary-encoded execution; see [`Database::codec`].
+#[derive(Default)]
 pub struct Database {
     relations: Vec<Relation>,
     by_name: FxHashMap<String, RelId>,
+    codec: Mutex<Codec>,
+}
+
+impl Clone for Database {
+    /// Clones relations and the codec cache.
+    ///
+    /// Locks the codec mutex: do not call while a [`DbCodec`] guard for
+    /// this database is alive on the same thread (the lock is not
+    /// reentrant and would deadlock).
+    fn clone(&self) -> Self {
+        Database {
+            relations: self.relations.clone(),
+            by_name: self.by_name.clone(),
+            codec: Mutex::new(self.lock_codec().clone()),
+        }
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // try_lock, not lock: formatting must stay safe while a DbCodec
+        // guard is alive on this thread (e.g. inside engine errors/logs).
+        let interned = match self.codec.try_lock() {
+            Ok(codec) => codec.interner.len().to_string(),
+            Err(_) => "<codec locked>".to_string(),
+        };
+        f.debug_struct("Database")
+            .field("relations", &self.relations)
+            .field("by_name", &self.by_name)
+            .field("interned_values", &interned)
+            .finish()
+    }
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    fn lock_codec(&self) -> MutexGuard<'_, Codec> {
+        // A panic while encoding can only leave a stale cache entry behind,
+        // never a torn one (entries are replaced wholesale), so a poisoned
+        // lock is safe to adopt.
+        self.codec.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock the value codec for a batch of encoded-execution work.
+    ///
+    /// The returned guard keeps the codec locked until dropped; keep it
+    /// short-lived (encode or decode a batch, then drop — the engine never
+    /// holds it across an evaluation). The lock is not reentrant: while a
+    /// guard is alive on a thread, that thread must not call
+    /// [`Database::codec`] or `Database::clone` again (both would
+    /// deadlock; `Debug` formatting degrades gracefully).
+    pub fn codec(&self) -> DbCodec<'_> {
+        DbCodec {
+            db: self,
+            inner: self.lock_codec(),
+        }
     }
 
     /// Add a relation; its name must be fresh.
@@ -198,5 +342,60 @@ mod tests {
     #[test]
     fn empty_db_avg_prob_is_zero() {
         assert_eq!(Database::new().avg_prob(), 0.0);
+    }
+
+    #[test]
+    fn codec_encodes_rows_consistently_across_relations() {
+        let db = sample_db();
+        let mut codec = db.codec();
+        let r = codec.encoded(0);
+        let s = codec.encoded(1);
+        assert_eq!(r.len(), 2); // 2 rows × arity 1
+        assert_eq!(s.len(), 2); // 1 row × arity 2
+
+        // R holds 1 and 2; S holds (1, 10): the shared value 1 must encode
+        // to the same vid in both relations.
+        assert_eq!(r[0], s[0]);
+        assert_ne!(r[1], s[0]);
+        // Decoding round-trips.
+        assert_eq!(codec.decode(r[0]), &Value::Int(1));
+        assert_eq!(codec.decode(s[1]), &Value::Int(10));
+        assert_eq!(codec.vid_of(&Value::Int(2)), Some(r[1]));
+        assert_eq!(codec.vid_of(&Value::Int(99)), None);
+    }
+
+    #[test]
+    fn codec_extends_encoding_after_growth() {
+        let mut db = sample_db();
+        let before: Vec<Vid> = {
+            let mut codec = db.codec();
+            codec.encoded(0).to_vec()
+        };
+        db.relation_mut(0).push(tuple([3]), 0.5).unwrap();
+        let mut codec = db.codec();
+        let enc = codec.encoded(0);
+        // The cached prefix is reused verbatim; only the new row is
+        // interned and appended.
+        assert_eq!(&enc[..before.len()], &before[..]);
+        assert_eq!(enc.len(), before.len() + 1);
+        assert_eq!(codec.decode(enc[2]), &Value::Int(3));
+        // The cache serves repeated calls without growing the interner.
+        let n = codec.interner().len();
+        let again = codec.encoded(0);
+        assert_eq!(enc, again);
+        assert_eq!(codec.interner().len(), n);
+    }
+
+    #[test]
+    fn codec_survives_clone() {
+        let db = sample_db();
+        {
+            let mut codec = db.codec();
+            codec.encoded(0);
+        }
+        let cloned = db.clone();
+        let mut codec = cloned.codec();
+        let enc = codec.encoded(0);
+        assert_eq!(codec.decode(enc[0]), &Value::Int(1));
     }
 }

@@ -11,6 +11,19 @@
 //! column-level functional dependencies — both kinds of schema knowledge feed
 //! the plan-enumeration refinements of Section 3.3 of the paper.
 //!
+//! ## Dictionary-encoded execution
+//!
+//! Besides the value-level catalog, the crate provides the substrate for
+//! the engine's dictionary-encoded execution path ([`intern`]): every
+//! distinct [`Value`] of a database is interned once into a dense `u32`
+//! [`Vid`] by the [`ValueInterner`] owned by the [`Database`], and base
+//! relations are cached in encoded row-major form (see [`Database::codec`]).
+//! All intermediate results downstream — hash joins, group-bys, semi-join
+//! membership — operate on [`RowKey`]s of `Vid`s, never on `Value`s, and
+//! decode back to `Value`s exactly once at the answer-set boundary.
+//! Encoding is maintained lazily and incrementally: the first scan after a
+//! load interns the new tuples, later scans reuse the cache.
+//!
 //! The crate also ships a small, fast, non-cryptographic hasher
 //! ([`fxhash`]) used throughout the engine for hot joins on integer keys.
 
@@ -18,15 +31,17 @@ pub mod csv;
 pub mod database;
 pub mod error;
 pub mod fxhash;
+pub mod intern;
 pub mod prob;
 pub mod relation;
 pub mod tuple;
 pub mod value;
 
 pub use csv::{database_from_dir, relation_from_text, CsvError, CsvOptions};
-pub use database::{Database, RelId};
+pub use database::{Database, DbCodec, RelId};
 pub use error::StorageError;
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use intern::{RowKey, ValueInterner, Vid};
 pub use prob::{clamp01, independent_and, independent_or};
 pub use relation::{Fd, Relation};
 pub use tuple::{Tuple, TupleId};

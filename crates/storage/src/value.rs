@@ -54,34 +54,33 @@ impl Value {
 
 /// `%`-wildcard matcher: the pattern is split on `%`; the pieces must occur
 /// in order, anchored at the start/end when the pattern does not start/end
-/// with `%`.
+/// with `%`. Walks the pattern without collecting the pieces (this runs
+/// once per row inside predicate scans).
 pub fn like_match(s: &str, pattern: &str) -> bool {
-    let pieces: Vec<&str> = pattern.split('%').collect();
-    if pieces.len() == 1 {
-        // No wildcard at all: exact match.
+    // No wildcard at all: exact match.
+    let Some((head, tail)) = pattern.split_once('%') else {
         return s == pattern;
-    }
-    let mut rest = s;
-    let last = pieces.len() - 1;
-    for (i, piece) in pieces.iter().enumerate() {
+    };
+    // Everything before the first `%` is anchored at the start, everything
+    // after the last `%` at the end; the pieces between occur in order.
+    let mut rest = match s.strip_prefix(head) {
+        Some(r) => r,
+        None => return false,
+    };
+    let (middle, last) = match tail.rsplit_once('%') {
+        Some((m, l)) => (m, l),
+        None => ("", tail),
+    };
+    for piece in middle.split('%') {
         if piece.is_empty() {
             continue;
         }
-        if i == 0 {
-            match rest.strip_prefix(piece) {
-                Some(r) => rest = r,
-                None => return false,
-            }
-        } else if i == last {
-            return rest.ends_with(piece);
-        } else {
-            match rest.find(piece) {
-                Some(pos) => rest = &rest[pos + piece.len()..],
-                None => return false,
-            }
+        match rest.find(piece) {
+            Some(pos) => rest = &rest[pos + piece.len()..],
+            None => return false,
         }
     }
-    true
+    rest.ends_with(last)
 }
 
 impl From<i64> for Value {
@@ -193,5 +192,23 @@ mod tests {
     #[test]
     fn like_int_never_matches() {
         assert!(!Value::from(5).like("%"));
+    }
+
+    #[test]
+    fn like_consecutive_wildcards_collapse() {
+        assert!(Value::from("red green").like("%%red%%green%%"));
+        assert!(Value::from("redgreen").like("red%%green"));
+        assert!(!Value::from("green red").like("%%red%%green%%"));
+        assert!(Value::from("x").like("%%"));
+    }
+
+    #[test]
+    fn like_trailing_and_leading_wildcards() {
+        assert!(Value::from("abc").like("a%"));
+        assert!(Value::from("abc").like("%c"));
+        assert!(!Value::from("abc").like("b%"));
+        assert!(!Value::from("abc").like("%b"));
+        assert!(Value::from("").like("%%"));
+        assert!(!Value::from("").like("a%"));
     }
 }
