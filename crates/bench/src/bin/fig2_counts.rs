@@ -16,6 +16,20 @@ use lapushdb::core::{count_all_plans, count_dissociations, count_minimal_plans};
 use lapushdb::prelude::*;
 use lapushdb::workload::{chain_query, star_query};
 
+/// Materialization wall-time of the minimal-plan enumerator, recorded as
+/// timing metrics so `bench-diff` gates plan-enumeration regressions (the
+/// count metrics alone would only catch correctness drift). Fixed k keeps
+/// the metric names scale-independent.
+fn time_enumeration(bench: &mut Bench) {
+    let chain7 = QueryShape::of_query(&chain_query(7));
+    let n_chain = bench.time("enumerate_chain_k7", || minimal_plans(&chain7).len());
+    bench.push(Metric::value("enumerate_chain_k7_plans", n_chain as f64));
+    let star5 = QueryShape::of_query(&star_query(5));
+    let n_star = bench.time("enumerate_star_k5", || minimal_plans(&star5).len());
+    bench.push(Metric::value("enumerate_star_k5_plans", n_star as f64));
+    println!("\nenumeration timed: chain k=7 ({n_chain} plans), star k=5 ({n_star} plans)");
+}
+
 fn main() {
     let mut bench = Bench::new("fig2_counts");
 
@@ -82,6 +96,8 @@ fn main() {
         &["k", "#MP", "#P ours", "#P paper", "#Δ"],
         &star_rows,
     );
+
+    time_enumeration(&mut bench);
 
     println!("\n#MP matches the paper exactly (A000108 / k!).");
     println!("#Δ matches the paper's 2^K formula exactly.");

@@ -12,6 +12,8 @@
 //! warmup/iteration timing with median + MAD; [`diff`] compares report
 //! sets against committed baselines and backs the `bench-diff` gate.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod diff;
 pub mod measure;
 pub mod report;

@@ -14,6 +14,8 @@
 //! numbers offline. Swap the workspace manifest entry to
 //! `criterion = "0.5"` to return to the real crate.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

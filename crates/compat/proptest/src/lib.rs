@@ -13,6 +13,8 @@
 //! proptest but identical pass/fail power for CI. Swap the workspace
 //! manifest entry to `proptest = "1"` to return to the real crate.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::fmt;
 use std::ops::Range;
 

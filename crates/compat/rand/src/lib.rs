@@ -12,6 +12,8 @@
 //! this workspace. Swap `rand = { path = ... }` for `rand = "0.8"` in the
 //! workspace manifest to return to the real crate.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable random number generators (subset of `rand::SeedableRng`).

@@ -1,13 +1,24 @@
 //! Algorithm 1 (`MP`, EnumerateMinimalPlans) and its schema-aware
 //! refinements (Theorems 20, 24, 27), plus all-plans enumeration and plan
 //! counting (Figure 2).
+//!
+//! Enumeration runs on the hash-consed plan DAG of [`crate::store`]: the
+//! recursion is memoized on the subquery key `(atoms_mask, head)`, so each
+//! subquery's plan set is derived once no matter how many cut sequences
+//! reach it, and the per-subquery sort/dedup compares dense [`PlanId`]s
+//! instead of deep trees. The tree-returning entry points decode the DAG
+//! at the end (sorted structurally, exactly as the tree-level enumeration
+//! always returned); [`minimal_plan_set`] and friends expose the shared
+//! [`PlanStore`] directly for id-based evaluation.
 
 use crate::plan::Plan;
 use crate::schema::SchemaInfo;
+use crate::store::{PlanId, PlanSet, PlanStore};
 use lapush_query::{
     components, min_cuts, min_pcuts, var_closure, Query, QueryShape, VarFd, VarSet,
 };
 use lapush_storage::FxHashMap;
+use std::rc::Rc;
 
 /// Toggles for the schema-knowledge refinements of Section 3.3.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,14 +43,42 @@ impl EnumOptions {
 
 /// Internal context for the recursions: `enum_shape` drives connectivity /
 /// cuts (it may be the FD-chased shape), `orig` provides the stripped heads
-/// for executable plan nodes.
-struct Ctx<'a> {
+/// for executable plan nodes. Owns the [`PlanStore`] borrow and the
+/// subquery memo tables — everything the recursions produce is a function
+/// of `(atoms_mask, head)` given the fixed shapes, which is what makes the
+/// memoization sound.
+struct EnumCtx<'a> {
     enum_shape: &'a QueryShape,
     orig: &'a QueryShape,
     use_det: bool,
+    store: &'a mut PlanStore,
+    /// Algorithm 1 memo: minimal plans per subquery key.
+    mp_memo: FxHashMap<(u64, VarSet), Rc<Vec<PlanId>>>,
+    /// All-plans memo: connected (merged) plans per subquery key.
+    conn_memo: FxHashMap<(u64, VarSet), Rc<Vec<PlanId>>>,
 }
 
-impl Ctx<'_> {
+pub(crate) fn mask_of(atoms: &[usize]) -> u64 {
+    atoms.iter().fold(0u64, |m, &a| m | (1 << a))
+}
+
+impl<'a> EnumCtx<'a> {
+    fn new(
+        enum_shape: &'a QueryShape,
+        orig: &'a QueryShape,
+        use_det: bool,
+        store: &'a mut PlanStore,
+    ) -> Self {
+        EnumCtx {
+            enum_shape,
+            orig,
+            use_det,
+            store,
+            mp_memo: FxHashMap::default(),
+            conn_memo: FxHashMap::default(),
+        }
+    }
+
     fn stripped_vars(&self, atoms: &[usize]) -> VarSet {
         atoms
             .iter()
@@ -55,11 +94,14 @@ impl Ctx<'_> {
 
     /// The plan "join all atoms, project onto head" (the single-atom base
     /// case).
-    fn join_all(&self, atoms: &[usize], head: VarSet) -> Plan {
-        let scans: Vec<Plan> = atoms.iter().map(|&a| Plan::scan(self.orig, a)).collect();
-        let joined = Plan::join(scans);
-        let keep = head.intersect(joined.head);
-        Plan::project(keep, joined)
+    fn join_all(&mut self, atoms: &[usize], head: VarSet) -> PlanId {
+        let scans: Vec<PlanId> = atoms
+            .iter()
+            .map(|&a| self.store.scan(self.orig, a))
+            .collect();
+        let joined = self.store.join(scans);
+        let keep = head.intersect(self.store.node(joined).head);
+        self.store.project(keep, joined)
     }
 
     /// The `m_p ≤ 1` stopping rule of Theorem 24, generalized: dissociate
@@ -73,7 +115,7 @@ impl Ctx<'_> {
     /// when it does not, the literal flat join would dissociate the
     /// probabilistic relation as well and lose exactness, so we use the
     /// safe-plan form.
-    fn dr_stop_plan(&self, atoms: &[usize], head: VarSet) -> Plan {
+    fn dr_stop_plan(&mut self, atoms: &[usize], head: VarSet) -> PlanId {
         let sub_vars = self.enum_shape.vars_of(atoms);
         let mut temp = self.enum_shape.clone();
         for &a in atoms {
@@ -81,7 +123,7 @@ impl Ctx<'_> {
                 temp.atom_vars[a] = temp.atom_vars[a].union(sub_vars);
             }
         }
-        crate::plan::safe_plan_rec(&temp, self.orig, atoms, head)
+        crate::plan::safe_plan_rec(self.store, &temp, self.orig, atoms, head)
             .expect("m_p ≤ 1 subquery is hierarchical after dissociating DRs")
     }
 }
@@ -115,75 +157,138 @@ pub fn minimal_plans_opts(q: &Query, schema: &SchemaInfo, opts: EnumOptions) -> 
     minimal_plans_with(&shape, &schema.fds, opts)
 }
 
-/// Algorithm 1 over an explicit shape + FDs.
+/// Algorithm 1 over an explicit shape + FDs, returning materialized trees
+/// (sorted structurally — the classic output order).
 pub fn minimal_plans_with(shape: &QueryShape, fds: &[VarFd], opts: EnumOptions) -> Vec<Plan> {
+    minimal_plan_set_with(shape, fds, opts).plans()
+}
+
+/// Algorithm 1 with no schema knowledge, as a [`PlanSet`] over a fresh
+/// hash-consed store.
+///
+/// ```
+/// use lapush_core::minimal_plan_set;
+/// use lapush_query::{parse_query, QueryShape};
+///
+/// // The 7-chain query of Figure 2 has 132 minimal plans (Catalan C₆)…
+/// let q = parse_query(
+///     "q(x0, x7) :- R1(x0, x1), R2(x1, x2), R3(x2, x3), R4(x3, x4), \
+///      R5(x4, x5), R6(x5, x6), R7(x6, x7)",
+/// )
+/// .unwrap();
+/// let set = minimal_plan_set(&QueryShape::of_query(&q));
+/// assert_eq!(set.len(), 132);
+/// // …but they share almost all of their subplans: the interned DAG is a
+/// // fraction of the forest of materialized trees it replaces (595 nodes
+/// // vs. 2508 at the time of writing).
+/// assert!((set.dag_node_count() as u128) * 4 < set.tree_node_count());
+/// ```
+pub fn minimal_plan_set(shape: &QueryShape) -> PlanSet {
+    minimal_plan_set_with(shape, &[], EnumOptions::default())
+}
+
+/// [`minimal_plan_set`] with schema knowledge taken from `schema`.
+pub fn minimal_plan_set_opts(q: &Query, schema: &SchemaInfo, opts: EnumOptions) -> PlanSet {
+    let shape = schema.shape(q);
+    minimal_plan_set_with(&shape, &schema.fds, opts)
+}
+
+/// [`minimal_plan_set`] over an explicit shape + FDs.
+pub fn minimal_plan_set_with(shape: &QueryShape, fds: &[VarFd], opts: EnumOptions) -> PlanSet {
+    let mut store = PlanStore::new();
+    let roots = minimal_plan_ids_with(&mut store, shape, fds, opts);
+    PlanSet { store, roots }
+}
+
+/// Algorithm 1 interning into an existing store; the returned root ids are
+/// ascending and deduplicated (id equality is structural equality).
+pub fn minimal_plan_ids_with(
+    store: &mut PlanStore,
+    shape: &QueryShape,
+    fds: &[VarFd],
+    opts: EnumOptions,
+) -> Vec<PlanId> {
     let enum_shape = if opts.use_fds {
         chase_shape(shape, fds)
     } else {
         shape.clone()
     };
-    let ctx = Ctx {
-        enum_shape: &enum_shape,
-        orig: shape,
-        use_det: opts.use_deterministic,
-    };
     let atoms = enum_shape.all_atoms();
-    let mut plans = mp_rec(&ctx, &atoms, enum_shape.head);
-    plans.sort();
-    plans.dedup();
-    plans
+    let head = enum_shape.head;
+    let mut ctx = EnumCtx::new(&enum_shape, shape, opts.use_deterministic, store);
+    let roots = ctx.mp_rec(&atoms, head);
+    roots.as_ref().clone()
 }
 
-/// The recursion of Algorithm 1.
-fn mp_rec(ctx: &Ctx<'_>, atoms: &[usize], head: VarSet) -> Vec<Plan> {
-    if atoms.len() == 1 {
-        return vec![ctx.join_all(atoms, head)];
-    }
-    // Modification (2) of Theorem 24: at most one probabilistic relation.
-    if ctx.use_det && ctx.prob_count(atoms) <= 1 {
-        return vec![ctx.dr_stop_plan(atoms, head)];
-    }
-
-    let comps = components(ctx.enum_shape, atoms, head);
-    if comps.len() > 1 {
-        // Lines 3–6: cartesian product of component plans, joined.
-        let per_comp: Vec<Vec<Plan>> = comps
-            .iter()
-            .map(|comp| {
-                let child_head = head.intersect(ctx.enum_shape.vars_of(comp));
-                mp_rec(ctx, comp, child_head)
-            })
-            .collect();
-        let mut out = Vec::new();
-        cartesian_join(&per_comp, 0, &mut Vec::new(), &mut out);
-        out
-    } else {
-        // Lines 8–10: one projection per minimal cut-set.
-        let cuts = if ctx.use_det {
-            min_pcuts(ctx.enum_shape, atoms, head)
+impl EnumCtx<'_> {
+    /// The recursion of Algorithm 1, memoized on the subquery key: each
+    /// `(atoms_mask, head)` subquery is solved once regardless of how many
+    /// cut sequences reach it.
+    fn mp_rec(&mut self, atoms: &[usize], head: VarSet) -> Rc<Vec<PlanId>> {
+        let key = (mask_of(atoms), head);
+        if let Some(hit) = self.mp_memo.get(&key) {
+            return Rc::clone(hit);
+        }
+        let mut out: Vec<PlanId>;
+        if atoms.len() == 1 {
+            out = vec![self.join_all(atoms, head)];
+        } else if self.use_det && self.prob_count(atoms) <= 1 {
+            // Modification (2) of Theorem 24: ≤ 1 probabilistic relation.
+            out = vec![self.dr_stop_plan(atoms, head)];
         } else {
-            min_cuts(ctx.enum_shape, atoms, head)
-        };
-        debug_assert!(!cuts.is_empty(), "connected multi-atom query has a cut");
-        let keep = head.intersect(ctx.stripped_vars(atoms));
-        let mut out = Vec::new();
-        for &y in &cuts {
-            for p in mp_rec(ctx, atoms, head.union(y)) {
-                out.push(Plan::project(keep.intersect(p.head), p));
+            let comps = components(self.enum_shape, atoms, head);
+            if comps.len() > 1 {
+                // Lines 3–6: cartesian product of component plans, joined.
+                let per_comp: Vec<Rc<Vec<PlanId>>> = comps
+                    .iter()
+                    .map(|comp| {
+                        let child_head = head.intersect(self.enum_shape.vars_of(comp));
+                        self.mp_rec(comp, child_head)
+                    })
+                    .collect();
+                out = Vec::new();
+                cartesian_join(self.store, &per_comp, 0, &mut Vec::new(), &mut out);
+            } else {
+                // Lines 8–10: one projection per minimal cut-set.
+                let cuts = if self.use_det {
+                    min_pcuts(self.enum_shape, atoms, head)
+                } else {
+                    min_cuts(self.enum_shape, atoms, head)
+                };
+                debug_assert!(!cuts.is_empty(), "connected multi-atom query has a cut");
+                let keep = head.intersect(self.stripped_vars(atoms));
+                out = Vec::new();
+                for &y in &cuts {
+                    let sub = self.mp_rec(atoms, head.union(y));
+                    for &p in sub.iter() {
+                        let child_head = self.store.node(p).head;
+                        out.push(self.store.project(keep.intersect(child_head), p));
+                    }
+                }
             }
         }
+        out.sort_unstable();
+        out.dedup();
+        let out = Rc::new(out);
+        self.mp_memo.insert(key, Rc::clone(&out));
         out
     }
 }
 
-fn cartesian_join(per_comp: &[Vec<Plan>], i: usize, acc: &mut Vec<Plan>, out: &mut Vec<Plan>) {
+fn cartesian_join(
+    store: &mut PlanStore,
+    per_comp: &[Rc<Vec<PlanId>>],
+    i: usize,
+    acc: &mut Vec<PlanId>,
+    out: &mut Vec<PlanId>,
+) {
     if i == per_comp.len() {
-        out.push(Plan::join(acc.clone()));
+        out.push(store.join(acc.clone()));
         return;
     }
-    for p in &per_comp[i] {
-        acc.push(p.clone());
-        cartesian_join(per_comp, i + 1, acc, out);
+    for &p in per_comp[i].iter() {
+        acc.push(p);
+        cartesian_join(store, per_comp, i + 1, acc, out);
         acc.pop();
     }
 }
@@ -207,78 +312,98 @@ fn cartesian_join(per_comp: &[Vec<Plan>], i: usize, acc: &mut Vec<Plan>, out: &m
 /// minimal-plan counts (`#MP`, the ones all experiments depend on) agree
 /// exactly.
 pub fn all_plans(shape: &QueryShape) -> Vec<Plan> {
-    let ctx = Ctx {
-        enum_shape: shape,
-        orig: shape,
-        use_det: false,
-    };
+    let mut store = PlanStore::new();
+    let roots = all_plan_ids(&mut store, shape);
+    let set = PlanSet { store, roots };
+    set.plans()
+}
+
+/// [`all_plans`] interning into an existing store; root ids ascending and
+/// deduplicated.
+pub fn all_plan_ids(store: &mut PlanStore, shape: &QueryShape) -> Vec<PlanId> {
     let atoms = shape.all_atoms();
-    let comps = components(shape, &atoms, shape.head);
-    let mut plans = if comps.len() > 1 {
-        let mut out = join_case(&ctx, &comps, shape.head);
+    let head = shape.head;
+    let mut ctx = EnumCtx::new(shape, shape, false, store);
+    let comps = components(ctx.enum_shape, &atoms, head);
+    let mut roots = if comps.len() > 1 {
+        let mut out = ctx.join_case(&comps, head);
         // A dissociation may also merge *everything* into one connected
         // query whose plan is a top-level projection.
-        out.extend(connected_plans(&ctx, &atoms, shape.head));
+        out.extend(ctx.connected_plans(&atoms, head).iter().copied());
         out
     } else {
-        connected_plans(&ctx, &atoms, shape.head)
+        ctx.connected_plans(&atoms, head).as_ref().clone()
     };
-    plans.sort();
-    plans.dedup();
-    plans
+    roots.sort_unstable();
+    roots.dedup();
+    roots
 }
 
-/// Plans of a subquery whose dissociated form is *connected*: a single atom,
-/// or a top projection `π_{-y}` over a join of component groups.
-fn connected_plans(ctx: &Ctx<'_>, atoms: &[usize], head: VarSet) -> Vec<Plan> {
-    if atoms.len() == 1 {
-        return vec![ctx.join_all(atoms, head)];
-    }
-    let evars = ctx.enum_shape.existential_of(atoms, head);
-    let keep = head.intersect(ctx.stripped_vars(atoms));
-    let mut out = Vec::new();
-    for y in evars.subsets() {
-        if y.is_empty() {
-            continue;
+impl EnumCtx<'_> {
+    /// Plans of a subquery whose dissociated form is *connected*: a single
+    /// atom, or a top projection `π_{-y}` over a join of component groups.
+    /// Memoized on the subquery key — groups recur across partitions.
+    fn connected_plans(&mut self, atoms: &[usize], head: VarSet) -> Rc<Vec<PlanId>> {
+        let key = (mask_of(atoms), head);
+        if let Some(hit) = self.conn_memo.get(&key) {
+            return Rc::clone(hit);
         }
-        let comps = components(ctx.enum_shape, atoms, head.union(y));
-        if comps.len() < 2 {
-            continue; // y is not a full separator set of any dissociation
-        }
-        for jp in join_case(ctx, &comps, head.union(y)) {
-            out.push(Plan::project(keep.intersect(jp.head), jp));
-        }
-    }
-    out
-}
-
-/// Top-level-join plans over the given components: partition them into ≥2
-/// groups, each of which must admit a connected (merged) plan.
-fn join_case(ctx: &Ctx<'_>, comps: &[Vec<usize>], head: VarSet) -> Vec<Plan> {
-    let mut out = Vec::new();
-    for partition in partitions_min_blocks(comps.len(), 2) {
-        let mut per_group: Vec<Vec<Plan>> = Vec::with_capacity(partition.len());
-        let mut dead = false;
-        for block in &partition {
-            let mut group_atoms: Vec<usize> = block
-                .iter()
-                .flat_map(|&ci| comps[ci].iter().copied())
-                .collect();
-            group_atoms.sort_unstable();
-            let group_head = head.intersect(ctx.enum_shape.vars_of(&group_atoms));
-            let plans = connected_plans(ctx, &group_atoms, group_head);
-            if plans.is_empty() {
-                dead = true; // group cannot be merged (no existential vars)
-                break;
+        let mut out: Vec<PlanId>;
+        if atoms.len() == 1 {
+            out = vec![self.join_all(atoms, head)];
+        } else {
+            let evars = self.enum_shape.existential_of(atoms, head);
+            let keep = head.intersect(self.stripped_vars(atoms));
+            out = Vec::new();
+            for y in evars.subsets() {
+                if y.is_empty() {
+                    continue;
+                }
+                let comps = components(self.enum_shape, atoms, head.union(y));
+                if comps.len() < 2 {
+                    continue; // y is not a full separator set of any dissociation
+                }
+                for jp in self.join_case(&comps, head.union(y)) {
+                    let child_head = self.store.node(jp).head;
+                    out.push(self.store.project(keep.intersect(child_head), jp));
+                }
             }
-            per_group.push(plans);
+            out.sort_unstable();
+            out.dedup();
         }
-        if dead {
-            continue;
-        }
-        cartesian_join(&per_group, 0, &mut Vec::new(), &mut out);
+        let out = Rc::new(out);
+        self.conn_memo.insert(key, Rc::clone(&out));
+        out
     }
-    out
+
+    /// Top-level-join plans over the given components: partition them into
+    /// ≥2 groups, each of which must admit a connected (merged) plan.
+    fn join_case(&mut self, comps: &[Vec<usize>], head: VarSet) -> Vec<PlanId> {
+        let mut out = Vec::new();
+        for partition in partitions_min_blocks(comps.len(), 2) {
+            let mut per_group: Vec<Rc<Vec<PlanId>>> = Vec::with_capacity(partition.len());
+            let mut dead = false;
+            for block in &partition {
+                let mut group_atoms: Vec<usize> = block
+                    .iter()
+                    .flat_map(|&ci| comps[ci].iter().copied())
+                    .collect();
+                group_atoms.sort_unstable();
+                let group_head = head.intersect(self.enum_shape.vars_of(&group_atoms));
+                let plans = self.connected_plans(&group_atoms, group_head);
+                if plans.is_empty() {
+                    dead = true; // group cannot be merged (no existential vars)
+                    break;
+                }
+                per_group.push(plans);
+            }
+            if dead {
+                continue;
+            }
+            cartesian_join(self.store, &per_group, 0, &mut Vec::new(), &mut out);
+        }
+        out
+    }
 }
 
 /// All set partitions of `{0, …, n−1}` with at least `min_blocks` blocks.
@@ -318,7 +443,7 @@ fn count_minimal_rec(
     head: VarSet,
     memo: &mut FxHashMap<(u64, VarSet), u128>,
 ) -> u128 {
-    let mask = atoms.iter().fold(0u64, |m, &a| m | (1 << a));
+    let mask = mask_of(atoms);
     if let Some(&c) = memo.get(&(mask, head)) {
         return c;
     }
@@ -368,7 +493,7 @@ fn count_connected(
     if atoms.len() == 1 {
         return 1;
     }
-    let mask = atoms.iter().fold(0u64, |m, &a| m | (1 << a));
+    let mask = mask_of(atoms);
     if let Some(&c) = memo.get(&(mask, head)) {
         return c;
     }

@@ -20,28 +20,46 @@
 //!   project / k-ary join, plus the `min` operator of Optimization 1), the
 //!   1-to-1 mappings between safe dissociations and plans (Theorem 18),
 //!   and unique safe-plan construction (Lemma 3).
+//! * [`store`] — the hash-consed plan DAG: a [`PlanStore`] arena interning
+//!   every structurally distinct plan node once to a dense [`PlanId`].
+//!   Minimal plans share almost all of their subplans; the DAG is the
+//!   natural representation, with [`Plan`] trees as its decoded form.
 //! * [`schema`] — schema knowledge: which relations are probabilistic and
 //!   the variable-level FDs (Section 3.3).
 //! * [`enumerate`] — Algorithm 1 (`MP`, EnumerateMinimalPlans) with the DR
-//!   and FD refinements, all-plans enumeration, and plan counting (Figure 2).
+//!   and FD refinements, all-plans enumeration, and plan counting
+//!   (Figure 2), all memoized on the `(atoms_mask, head)` subquery key
+//!   over the shared store.
 //! * [`opt`] — Optimization 1 (one single plan, Algorithm 2) and
-//!   Optimization 2 (common-subplan views, Algorithm 3).
+//!   Optimization 2 (common-subplan views, Algorithm 3). On the DAG these
+//!   are id-rewrites: equal subquery keys of a single plan denote equal
+//!   subplans, hence equal interned ids.
 //!
 //! Execution of plans against data lives in `lapush-engine`; this crate is
-//! purely query-level and independent of the database size.
+//! purely query-level and independent of the database size. The repo-wide
+//! crate map and data flow live in `docs/ARCHITECTURE.md`.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod dissociation;
 pub mod enumerate;
 pub mod opt;
 pub mod plan;
 pub mod schema;
+pub mod store;
 
 pub use dissociation::{
     all_dissociations, count_dissociations, naive_minimal_safe_dissociations, Dissociation,
 };
 pub use enumerate::{
-    all_plans, count_all_plans, count_minimal_plans, minimal_plans, minimal_plans_opts, EnumOptions,
+    all_plan_ids, all_plans, count_all_plans, count_minimal_plans, minimal_plan_ids_with,
+    minimal_plan_set, minimal_plan_set_opts, minimal_plan_set_with, minimal_plans,
+    minimal_plans_opts, minimal_plans_with, EnumOptions,
 };
-pub use opt::{shared_subqueries, single_plan, SubqueryKey};
-pub use plan::{delta_of_plan, plan_for_dissociation, safe_plan, Plan, PlanKind};
+pub use opt::{shared_subqueries, shared_subqueries_in, single_plan, single_plan_id, SubqueryKey};
+pub use plan::{
+    delta_of_plan, delta_of_plan_id, plan_for_dissociation, plan_id_for_dissociation, safe_plan,
+    Plan, PlanKind,
+};
 pub use schema::SchemaInfo;
+pub use store::{NodeKind, PlanId, PlanNode, PlanSet, PlanStore};

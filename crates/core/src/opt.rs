@@ -13,9 +13,10 @@
 //! * **Optimization 3** (deterministic semi-join reduction) is data-level
 //!   and lives in `lapush-engine`.
 
-use crate::enumerate::{chase_shape, EnumOptions};
+use crate::enumerate::{chase_shape, mask_of, EnumOptions};
 use crate::plan::{Plan, PlanKind};
 use crate::schema::SchemaInfo;
+use crate::store::{NodeKind, PlanId, PlanStore};
 use lapush_query::{components, min_cuts, min_pcuts, Query, QueryShape, VarFd, VarSet};
 use lapush_storage::FxHashMap;
 
@@ -34,79 +35,123 @@ pub fn single_plan(q: &Query, schema: &SchemaInfo, opts: EnumOptions) -> Plan {
 
 /// [`single_plan`] over an explicit shape + FDs.
 pub fn single_plan_with(shape: &QueryShape, fds: &[VarFd], opts: EnumOptions) -> Plan {
+    let mut store = PlanStore::new();
+    let root = single_plan_id_with(&mut store, shape, fds, opts);
+    store.plan(root)
+}
+
+/// [`single_plan`] interning into an existing store instead of
+/// materializing a tree: the natural input for the engine's id-based
+/// evaluation, where the hash-consed ids make Optimization 2's view
+/// sharing a plain node memo.
+pub fn single_plan_id(
+    store: &mut PlanStore,
+    q: &Query,
+    schema: &SchemaInfo,
+    opts: EnumOptions,
+) -> PlanId {
+    let shape = schema.shape(q);
+    single_plan_id_with(store, &shape, &schema.fds, opts)
+}
+
+/// [`single_plan_id`] over an explicit shape + FDs.
+pub fn single_plan_id_with(
+    store: &mut PlanStore,
+    shape: &QueryShape,
+    fds: &[VarFd],
+    opts: EnumOptions,
+) -> PlanId {
     let enum_shape = if opts.use_fds {
         chase_shape(shape, fds)
     } else {
         shape.clone()
     };
     let atoms = enum_shape.all_atoms();
-    sp_rec(
-        &enum_shape,
-        shape,
-        opts.use_deterministic,
-        &atoms,
-        enum_shape.head,
-    )
+    let mut sp = SpCtx {
+        enum_shape: &enum_shape,
+        orig: shape,
+        use_det: opts.use_deterministic,
+        store,
+        memo: FxHashMap::default(),
+    };
+    let head = enum_shape.head;
+    sp.rec(&atoms, head)
 }
 
-fn sp_rec(
-    enum_shape: &QueryShape,
-    orig: &QueryShape,
+/// Single-plan recursion state: like `enumerate::EnumCtx`, the result of a
+/// subcall is a deterministic function of `(atoms_mask, head)`, so the
+/// recursion is memoized on the subquery key — equal subqueries intern the
+/// same node once instead of rebuilding (and re-cloning) whole subtrees.
+struct SpCtx<'a> {
+    enum_shape: &'a QueryShape,
+    orig: &'a QueryShape,
     use_det: bool,
-    atoms: &[usize],
-    head: VarSet,
-) -> Plan {
-    let prob_count = atoms
-        .iter()
-        .filter(|&&a| enum_shape.probabilistic[a])
-        .count();
-    if atoms.len() == 1 {
-        let scan = Plan::scan(orig, atoms[0]);
-        let keep = head.intersect(scan.head);
-        return Plan::project(keep, scan);
-    }
-    if use_det && prob_count <= 1 {
-        // The m_p ≤ 1 stopping rule: dissociate deterministic atoms fully
-        // and take the unique safe plan (see `enumerate::Ctx::dr_stop_plan`).
-        let sub_vars = enum_shape.vars_of(atoms);
-        let mut temp = enum_shape.clone();
-        for &a in atoms {
-            if !temp.probabilistic[a] {
-                temp.atom_vars[a] = temp.atom_vars[a].union(sub_vars);
-            }
+    store: &'a mut PlanStore,
+    memo: FxHashMap<(u64, VarSet), PlanId>,
+}
+
+impl SpCtx<'_> {
+    fn rec(&mut self, atoms: &[usize], head: VarSet) -> PlanId {
+        let key = (mask_of(atoms), head);
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
         }
-        return crate::plan::safe_plan_rec(&temp, orig, atoms, head)
-            .expect("m_p ≤ 1 subquery is hierarchical after dissociating DRs");
-    }
-    let comps = components(enum_shape, atoms, head);
-    if comps.len() > 1 {
-        let children: Vec<Plan> = comps
+        let prob_count = atoms
             .iter()
-            .map(|comp| {
-                let child_head = head.intersect(enum_shape.vars_of(comp));
-                sp_rec(enum_shape, orig, use_det, comp, child_head)
-            })
-            .collect();
-        Plan::join(children)
-    } else {
-        let cuts = if use_det {
-            min_pcuts(enum_shape, atoms, head)
+            .filter(|&&a| self.enum_shape.probabilistic[a])
+            .count();
+        let result = if atoms.len() == 1 {
+            let scan = self.store.scan(self.orig, atoms[0]);
+            let keep = head.intersect(self.store.node(scan).head);
+            self.store.project(keep, scan)
+        } else if self.use_det && prob_count <= 1 {
+            // The m_p ≤ 1 stopping rule: dissociate deterministic atoms
+            // fully and take the unique safe plan (see
+            // `enumerate::EnumCtx::dr_stop_plan`).
+            let sub_vars = self.enum_shape.vars_of(atoms);
+            let mut temp = self.enum_shape.clone();
+            for &a in atoms {
+                if !temp.probabilistic[a] {
+                    temp.atom_vars[a] = temp.atom_vars[a].union(sub_vars);
+                }
+            }
+            crate::plan::safe_plan_rec(self.store, &temp, self.orig, atoms, head)
+                .expect("m_p ≤ 1 subquery is hierarchical after dissociating DRs")
         } else {
-            min_cuts(enum_shape, atoms, head)
+            let comps = components(self.enum_shape, atoms, head);
+            if comps.len() > 1 {
+                let children: Vec<PlanId> = comps
+                    .iter()
+                    .map(|comp| {
+                        let child_head = head.intersect(self.enum_shape.vars_of(comp));
+                        self.rec(comp, child_head)
+                    })
+                    .collect();
+                self.store.join(children)
+            } else {
+                let cuts = if self.use_det {
+                    min_pcuts(self.enum_shape, atoms, head)
+                } else {
+                    min_cuts(self.enum_shape, atoms, head)
+                };
+                debug_assert!(!cuts.is_empty());
+                let stripped: VarSet = atoms
+                    .iter()
+                    .fold(VarSet::EMPTY, |h, &a| h.union(self.orig.atom_vars[a]));
+                let keep = head.intersect(stripped);
+                let branches: Vec<PlanId> = cuts
+                    .iter()
+                    .map(|&y| {
+                        let child = self.rec(atoms, head.union(y));
+                        let child_head = self.store.node(child).head;
+                        self.store.project(keep.intersect(child_head), child)
+                    })
+                    .collect();
+                self.store.min_of(branches)
+            }
         };
-        debug_assert!(!cuts.is_empty());
-        let stripped: VarSet = atoms
-            .iter()
-            .fold(VarSet::EMPTY, |h, &a| h.union(orig.atom_vars[a]));
-        let keep = head.intersect(stripped);
-        let branches: Vec<Plan> = cuts
-            .iter()
-            .map(|&y| {
-                let child = sp_rec(enum_shape, orig, use_det, atoms, head.union(y));
-                Plan::project(keep.intersect(child.head), child)
-            })
-            .collect();
-        Plan::min_of(branches)
+        self.memo.insert(key, result);
+        result
     }
 }
 
@@ -129,6 +174,38 @@ pub fn shared_subqueries(plan: &Plan) -> Vec<(SubqueryKey, usize)> {
         *counts.entry((p.atoms_mask, p.head)).or_insert(0) += 1;
     }
     walk(plan, &mut counts);
+    let mut out: Vec<(SubqueryKey, usize)> = counts.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// [`shared_subqueries`] on the DAG form, without materializing a tree.
+/// Counts *tree occurrences* (what the tree walk counts), computed in one
+/// reverse-topological pass: a node's multiplicity is the sum of its
+/// parents' multiplicities.
+pub fn shared_subqueries_in(store: &PlanStore, root: PlanId) -> Vec<(SubqueryKey, usize)> {
+    let mut mult = vec![0usize; store.len()];
+    mult[root.index()] = 1;
+    let mut counts: FxHashMap<SubqueryKey, usize> = FxHashMap::default();
+    for idx in (0..=root.index()).rev() {
+        let m = mult[idx];
+        if m == 0 {
+            continue;
+        }
+        // Reconstruct the id from the dense index: ids are assigned in
+        // insertion order, so index order is topological (children first).
+        let node = store.node_at(idx);
+        match &node.kind {
+            NodeKind::Scan { .. } => continue,
+            NodeKind::Project { input } => mult[input.index()] += m,
+            NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                for c in inputs.iter() {
+                    mult[c.index()] += m;
+                }
+            }
+        }
+        *counts.entry((node.atoms_mask, node.head)).or_insert(0) += m;
+    }
     let mut out: Vec<(SubqueryKey, usize)> = counts.into_iter().collect();
     out.sort();
     out
@@ -215,6 +292,28 @@ mod tests {
         assert!(plain.has_min());
         assert!(!with_dr.has_min());
         assert!(with_dr.size() < plain.size());
+    }
+
+    #[test]
+    fn shared_subqueries_in_matches_tree_walk() {
+        // The DAG multiplicity pass must count exactly what the tree walk
+        // counts, for every options combination.
+        for text in [
+            "q :- R(x), S(x), T(x, y), U(y)",
+            "q :- R(x), S(x, y), T(y)",
+            "q :- R(x, z), S(y, u), T(z), U(u), M(x, y, z, u)",
+            "q(z) :- R(z, x), S(x, y), K(x, y)",
+        ] {
+            let (q, _) = setup(text);
+            let schema = SchemaInfo::from_query(&q);
+            let mut store = crate::store::PlanStore::new();
+            let root = super::single_plan_id(&mut store, &q, &schema, EnumOptions::default());
+            assert_eq!(
+                shared_subqueries_in(&store, root),
+                shared_subqueries(&store.plan(root)),
+                "{text}"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! true probability.
 
 use crate::dissociation::Dissociation;
+use crate::store::{NodeKind, PlanId, PlanStore};
 use lapush_query::{components, separator_vars, QueryShape, VarSet};
 
 /// Plan node payload. See [`Plan`].
@@ -238,14 +239,60 @@ pub fn delta_of_plan(plan: &Plan, shape: &QueryShape) -> Option<Dissociation> {
     walk(plan, shape, &mut delta).then_some(delta)
 }
 
+/// [`delta_of_plan`] on the DAG form, without materializing a tree. The
+/// per-join contributions are idempotent unions, so visiting a shared node
+/// once per parent is sound.
+pub fn delta_of_plan_id(store: &PlanStore, id: PlanId, shape: &QueryShape) -> Option<Dissociation> {
+    let mut delta = Dissociation::bottom(shape.num_atoms());
+    fn walk(store: &PlanStore, id: PlanId, shape: &QueryShape, delta: &mut Dissociation) -> bool {
+        let node = store.node(id);
+        match &node.kind {
+            NodeKind::Scan { .. } => true,
+            NodeKind::Project { input } => walk(store, *input, shape, delta),
+            NodeKind::Join { inputs } => {
+                let jvar = inputs
+                    .iter()
+                    .fold(VarSet::EMPTY, |h, &c| h.union(store.node(c).head));
+                for &c in inputs.iter() {
+                    let child = store.node(c);
+                    let missing = jvar.minus(child.head).minus(shape.head);
+                    if !missing.is_empty() {
+                        let mut m = child.atoms_mask;
+                        while m != 0 {
+                            let atom = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let add = missing.minus(shape.atom_vars[atom]);
+                            delta.0[atom] = delta.0[atom].union(add);
+                        }
+                    }
+                }
+                inputs.iter().all(|&c| walk(store, c, shape, delta))
+            }
+            NodeKind::Min { .. } => false,
+        }
+    }
+    walk(store, id, shape, &mut delta).then_some(delta)
+}
+
 /// The map `Δ ↦ P_Δ` (Section 3.2): if `q^Δ` is hierarchical, build its
 /// unique safe plan (per the recursive characterization of Lemma 3) and
 /// strip the dissociated variables, yielding an executable plan over the
 /// original relations. Returns `None` when the dissociation is unsafe.
 pub fn plan_for_dissociation(orig: &QueryShape, delta: &Dissociation) -> Option<Plan> {
+    let mut store = PlanStore::new();
+    plan_id_for_dissociation(&mut store, orig, delta).map(|id| store.plan(id))
+}
+
+/// [`plan_for_dissociation`] interning into an existing store instead of
+/// materializing a tree.
+pub fn plan_id_for_dissociation(
+    store: &mut PlanStore,
+    orig: &QueryShape,
+    delta: &Dissociation,
+) -> Option<PlanId> {
     let dshape = delta.apply(orig);
     let atoms = dshape.all_atoms();
-    safe_plan_rec(&dshape, orig, &atoms, dshape.head)
+    safe_plan_rec(store, &dshape, orig, &atoms, dshape.head)
 }
 
 /// The unique safe plan of a shape, if it is hierarchical (`Δ = Δ⊥`).
@@ -253,38 +300,39 @@ pub fn safe_plan(shape: &QueryShape) -> Option<Plan> {
     plan_for_dissociation(shape, &Dissociation::bottom(shape.num_atoms()))
 }
 
-/// Lemma 3 recursion over the *dissociated* shape, emitting nodes whose
+/// Lemma 3 recursion over the *dissociated* shape, interning nodes whose
 /// heads are stripped back to original variables.
 pub(crate) fn safe_plan_rec(
+    store: &mut PlanStore,
     dshape: &QueryShape,
     orig: &QueryShape,
     atoms: &[usize],
     head: VarSet,
-) -> Option<Plan> {
+) -> Option<PlanId> {
     if atoms.len() == 1 {
         let a = atoms[0];
         // Any remaining existential variable of a singleton component is a
         // separator of itself; the stripped result is the same projection.
-        let scan = Plan::scan(orig, a);
+        let scan = store.scan(orig, a);
         let keep = head.intersect(orig.atom_vars[a]);
-        return Some(Plan::project(keep, scan));
+        return Some(store.project(keep, scan));
     }
     let comps = components(dshape, atoms, head);
     if comps.len() > 1 {
         let mut children = Vec::with_capacity(comps.len());
         for comp in &comps {
             let child_head = head.intersect(dshape.vars_of(comp));
-            children.push(safe_plan_rec(dshape, orig, comp, child_head)?);
+            children.push(safe_plan_rec(store, dshape, orig, comp, child_head)?);
         }
-        Some(Plan::join(children))
+        Some(store.join(children))
     } else {
         let sep = separator_vars(dshape, atoms, head);
         if sep.is_empty() {
             return None; // connected, ≥2 atoms, no separator: not hierarchical
         }
-        let child = safe_plan_rec(dshape, orig, atoms, head.union(sep))?;
-        let keep = head.intersect(child.head);
-        Some(Plan::project(keep, child))
+        let child = safe_plan_rec(store, dshape, orig, atoms, head.union(sep))?;
+        let keep = head.intersect(store.node(child).head);
+        Some(store.project(keep, child))
     }
 }
 
@@ -388,6 +436,41 @@ mod tests {
             assert_eq!(d, d2, "plan {p:?}");
         }
         assert_eq!(safe_count, 5); // Fig. 1a: 5 safe dissociations
+    }
+
+    #[test]
+    fn delta_of_plan_id_matches_tree_walk() {
+        // The DAG walk must recover the same dissociation as the tree walk
+        // for every plan, and reject `min` nodes the same way.
+        for text in [
+            "q :- R(x), S(x), T(x, y), U(y)",
+            "q :- R(x), S(x, y), T(y)",
+            "q(z) :- R(z, x), S(x, y), T(y)",
+            "q :- R(x), S(y)",
+        ] {
+            let (_, s) = setup(text);
+            let mut store = PlanStore::new();
+            let roots = crate::enumerate::all_plan_ids(&mut store, &s);
+            assert!(!roots.is_empty(), "{text}");
+            for &id in &roots {
+                assert_eq!(
+                    delta_of_plan_id(&store, id, &s),
+                    delta_of_plan(&store.plan(id), &s),
+                    "{text}"
+                );
+            }
+        }
+        // Plans containing `min` have no single dissociation.
+        let (q, s) = setup("q :- R(x), S(x), T(x, y), U(y)");
+        let mut store = PlanStore::new();
+        let sp = crate::opt::single_plan_id(
+            &mut store,
+            &q,
+            &crate::schema::SchemaInfo::from_query(&q),
+            crate::enumerate::EnumOptions::default(),
+        );
+        assert_eq!(delta_of_plan_id(&store, sp, &s), None);
+        assert_eq!(delta_of_plan(&store.plan(sp), &s), None);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Hash-consed plan DAG: the arena-interned representation behind plan
+//! enumeration and execution.
+//!
+//! Minimal plans of a query share almost all of their subplans — the 132
+//! minimal plans of the 7-chain query are built from a few hundred distinct
+//! subqueries, not 132 independent trees (Section 3.2; the journal version
+//! makes the DAG view explicit). [`PlanStore`] interns every node exactly
+//! once: structurally equal subplans receive the same dense [`PlanId`], so
+//!
+//! * enumeration memoizes each `(atoms_mask, head)` subquery once and
+//!   reuses its plan ids across every cut that reaches it,
+//! * sorting/deduplication compare `u32` ids instead of deep trees,
+//! * the engine's memo keyed by [`PlanId`] evaluates each distinct subplan
+//!   once per evaluation — Optimization 2's view sharing falls out of the
+//!   representation (equal subquery keys in a [`crate::opt::single_plan`]
+//!   imply equal subplans, hence equal ids),
+//! * interned plans are cheap to retain across calls, unblocking
+//!   multi-query plan caching.
+//!
+//! The tree type [`Plan`] remains the public materialized form —
+//! [`PlanStore::plan`] decodes an id to a tree and
+//! [`PlanStore::intern_plan`] encodes a tree back, and the two are
+//! mutually inverse on normalized plans.
+
+use crate::plan::{Plan, PlanKind};
+use lapush_query::{QueryShape, VarSet};
+use lapush_storage::FxHashMap;
+
+/// Dense handle of one interned plan node inside a [`PlanStore`].
+///
+/// Ids are assigned in first-intern order; children are always interned
+/// before their parents, so `id_a < id_b` whenever `a` is a descendant of
+/// `b` (the node vector is topologically sorted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(u32);
+
+impl PlanId {
+    /// The id as a dense index into [`PlanStore`] iteration order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Node payload of the DAG form; children are [`PlanId`]s instead of owned
+/// subtrees. Mirrors [`PlanKind`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Leaf: scan one atom of the query (by atom index).
+    Scan {
+        /// Atom index in the original query.
+        atom: usize,
+    },
+    /// Probabilistic projection onto the node's `head`.
+    Project {
+        /// Input plan.
+        input: PlanId,
+    },
+    /// Natural k-ary join (canonically ordered; ≥ 2 entries).
+    Join {
+        /// Input plans.
+        inputs: Box<[PlanId]>,
+    },
+    /// The `min` operator of Optimization 1 (≥ 2 distinct entries).
+    Min {
+        /// Alternative plans for the same subquery.
+        inputs: Box<[PlanId]>,
+    },
+}
+
+/// One interned plan node: payload plus the subquery key
+/// `(atoms_mask, head)` it computes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanNode {
+    /// Node payload.
+    pub kind: NodeKind,
+    /// Output variables of this node (stripped level).
+    pub head: VarSet,
+    /// Bitmask of atom indices covered by this DAG node.
+    pub atoms_mask: u64,
+}
+
+/// Arena interning plan nodes once each. See the [module docs](self).
+#[derive(Debug, Default, Clone)]
+pub struct PlanStore {
+    nodes: Vec<PlanNode>,
+    index: FxHashMap<PlanNode, PlanId>,
+}
+
+impl PlanStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    #[inline]
+    pub fn node(&self, id: PlanId) -> &PlanNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// The node at dense index `idx` (see [`PlanId::index`]); index order
+    /// is topological — children precede parents.
+    #[inline]
+    pub fn node_at(&self, idx: usize) -> &PlanNode {
+        &self.nodes[idx]
+    }
+
+    /// Intern a fully-formed node, returning the existing id when an equal
+    /// node is already present.
+    pub fn intern(&mut self, node: PlanNode) -> PlanId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = PlanId(u32::try_from(self.nodes.len()).expect("plan store overflow"));
+        self.index.insert(node.clone(), id);
+        self.nodes.push(node);
+        id
+    }
+
+    // -- smart constructors (normalizing, mirroring the `Plan` ones) -------
+
+    /// Leaf scan of atom `atom`; its head is the atom's (original) variables.
+    pub fn scan(&mut self, orig: &QueryShape, atom: usize) -> PlanId {
+        self.intern(PlanNode {
+            kind: NodeKind::Scan { atom },
+            head: orig.atom_vars[atom],
+            atoms_mask: 1u64 << atom,
+        })
+    }
+
+    /// Probabilistic projection of `input` onto `keep`; a no-op projection
+    /// returns `input` unchanged (same normalization as [`Plan::project`]).
+    pub fn project(&mut self, keep: VarSet, input: PlanId) -> PlanId {
+        let node = self.node(input);
+        debug_assert!(keep.is_subset(node.head), "projection widens head");
+        if keep == node.head {
+            return input;
+        }
+        let atoms_mask = node.atoms_mask;
+        self.intern(PlanNode {
+            kind: NodeKind::Project { input },
+            head: keep,
+            atoms_mask,
+        })
+    }
+
+    /// Natural join, flattening nested joins and canonically ordering the
+    /// children by their smallest atom index (same as [`Plan::join`]). A
+    /// join of one input is the input itself.
+    pub fn join(&mut self, inputs: Vec<PlanId>) -> PlanId {
+        let mut flat: Vec<PlanId> = Vec::with_capacity(inputs.len());
+        for id in inputs {
+            match &self.node(id).kind {
+                NodeKind::Join { inputs: nested } => flat.extend(nested.iter().copied()),
+                _ => flat.push(id),
+            }
+        }
+        if flat.len() == 1 {
+            return flat[0];
+        }
+        flat.sort_by_key(|&id| self.node(id).atoms_mask.trailing_zeros());
+        let mut head = VarSet::EMPTY;
+        let mut atoms_mask = 0u64;
+        for &id in &flat {
+            head = head.union(self.node(id).head);
+            atoms_mask |= self.node(id).atoms_mask;
+        }
+        self.intern(PlanNode {
+            kind: NodeKind::Join {
+                inputs: flat.into_boxed_slice(),
+            },
+            head,
+            atoms_mask,
+        })
+    }
+
+    /// `min` of alternative plans for the same subquery. Duplicates (now
+    /// simply equal ids) are removed; a single distinct input is returned
+    /// unchanged. Inputs are ordered by id — deterministic because
+    /// construction order is — where [`Plan::min_of`] ordered structurally;
+    /// `min` is commutative, so results are unaffected.
+    pub fn min_of(&mut self, inputs: Vec<PlanId>) -> PlanId {
+        let mut distinct: Vec<PlanId> = Vec::with_capacity(inputs.len());
+        for id in inputs {
+            if !distinct.contains(&id) {
+                distinct.push(id);
+            }
+        }
+        if distinct.len() == 1 {
+            return distinct[0];
+        }
+        distinct.sort_unstable();
+        let head = self.node(distinct[0]).head;
+        let atoms_mask = self.node(distinct[0]).atoms_mask;
+        debug_assert!(
+            distinct
+                .iter()
+                .all(|&id| self.node(id).head == head && self.node(id).atoms_mask == atoms_mask),
+            "min over mismatched subqueries"
+        );
+        self.intern(PlanNode {
+            kind: NodeKind::Min {
+                inputs: distinct.into_boxed_slice(),
+            },
+            head,
+            atoms_mask,
+        })
+    }
+
+    // -- encode / decode ----------------------------------------------------
+
+    /// Materialize the tree form of `id`. Shared DAG nodes are expanded
+    /// into independent subtrees (the tree can be exponentially larger than
+    /// the DAG; see [`PlanStore::tree_sizes`]).
+    pub fn plan(&self, id: PlanId) -> Plan {
+        let node = self.node(id);
+        let kind = match &node.kind {
+            NodeKind::Scan { atom } => PlanKind::Scan { atom: *atom },
+            NodeKind::Project { input } => PlanKind::Project {
+                input: Box::new(self.plan(*input)),
+            },
+            NodeKind::Join { inputs } => PlanKind::Join {
+                inputs: inputs.iter().map(|&c| self.plan(c)).collect(),
+            },
+            NodeKind::Min { inputs } => PlanKind::Min {
+                inputs: inputs.iter().map(|&c| self.plan(c)).collect(),
+            },
+        };
+        Plan {
+            kind,
+            head: node.head,
+            atoms_mask: node.atoms_mask,
+        }
+    }
+
+    /// Intern a tree verbatim (no re-normalization: the tree's own
+    /// structure is preserved node for node, so evaluating the returned id
+    /// is exactly evaluating the tree). Structurally equal subtrees —
+    /// within this plan or across previously interned ones — collapse to
+    /// shared ids.
+    pub fn intern_plan(&mut self, plan: &Plan) -> PlanId {
+        let kind = match &plan.kind {
+            PlanKind::Scan { atom } => NodeKind::Scan { atom: *atom },
+            PlanKind::Project { input } => NodeKind::Project {
+                input: self.intern_plan(input),
+            },
+            PlanKind::Join { inputs } => NodeKind::Join {
+                inputs: inputs.iter().map(|c| self.intern_plan(c)).collect(),
+            },
+            PlanKind::Min { inputs } => NodeKind::Min {
+                inputs: inputs.iter().map(|c| self.intern_plan(c)).collect(),
+            },
+        };
+        self.intern(PlanNode {
+            kind,
+            head: plan.head,
+            atoms_mask: plan.atoms_mask,
+        })
+    }
+
+    // -- DAG statistics -----------------------------------------------------
+
+    /// Number of distinct nodes reachable from `roots`.
+    pub fn reachable_count(&self, roots: &[PlanId]) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<PlanId> = roots.to_vec();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.0 as usize], true) {
+                continue;
+            }
+            count += 1;
+            match &self.node(id).kind {
+                NodeKind::Scan { .. } => {}
+                NodeKind::Project { input } => stack.push(*input),
+                NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                    stack.extend(inputs.iter().copied());
+                }
+            }
+        }
+        count
+    }
+
+    /// Per-node materialized-tree sizes (what [`Plan::size`] would return
+    /// after decoding), computed bottom-up in one pass — the node vector is
+    /// topologically ordered, children before parents. `u128` because
+    /// shared nodes make trees exponentially larger than the DAG.
+    pub fn tree_sizes(&self) -> Vec<u128> {
+        let mut sizes: Vec<u128> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let size = 1 + match &node.kind {
+                NodeKind::Scan { .. } => 0,
+                NodeKind::Project { input } => sizes[input.0 as usize],
+                NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                    inputs.iter().map(|c| sizes[c.0 as usize]).sum()
+                }
+            };
+            sizes.push(size);
+        }
+        sizes
+    }
+}
+
+/// A set of plans over one shared [`PlanStore`]: what the memoized
+/// enumerators produce and what the engine's id-based entry points consume.
+#[derive(Debug, Clone)]
+pub struct PlanSet {
+    /// The arena holding every node of every plan in the set.
+    pub store: PlanStore,
+    /// Root ids, ascending (deduplicated: hash-consing makes id equality
+    /// structural equality).
+    pub roots: Vec<PlanId>,
+}
+
+impl PlanSet {
+    /// Number of plans in the set.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Materialize every plan as a tree, sorted structurally (the exact
+    /// order the tree-level enumeration APIs have always returned).
+    pub fn plans(&self) -> Vec<Plan> {
+        let mut plans: Vec<Plan> = self.roots.iter().map(|&id| self.store.plan(id)).collect();
+        plans.sort();
+        plans
+    }
+
+    /// Distinct interned nodes reachable from the roots — the DAG size.
+    pub fn dag_node_count(&self) -> usize {
+        self.store.reachable_count(&self.roots)
+    }
+
+    /// Total nodes if every root were materialized as an independent tree —
+    /// the representation the DAG replaces.
+    pub fn tree_node_count(&self) -> u128 {
+        let sizes = self.store.tree_sizes();
+        self.roots.iter().map(|&id| sizes[id.0 as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_query::{parse_query, QueryShape};
+
+    fn shape_of(text: &str) -> QueryShape {
+        QueryShape::of_query(&parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        let s = shape_of("q :- R(x), S(x, y), T(y)");
+        let mut store = PlanStore::new();
+        let a = store.scan(&s, 0);
+        let b = store.scan(&s, 0);
+        assert_eq!(a, b);
+        let (s1, s2) = (store.scan(&s, 1), store.scan(&s, 2));
+        let j1 = store.join(vec![s1, s2]);
+        let j2 = store.join(vec![s2, s1]);
+        assert_eq!(j1, j2, "join order is canonical");
+        assert_eq!(store.len(), 4); // three scans + one join
+    }
+
+    #[test]
+    fn decode_matches_tree_constructors() {
+        let s = shape_of("q :- R(x), S(x, y), T(y)");
+        let mut store = PlanStore::new();
+        let scan_s = store.scan(&s, 1);
+        let scan_t = store.scan(&s, 2);
+        let join = store.join(vec![scan_s, scan_t]);
+        let x = s.atom_vars[0];
+        let proj = store.project(x, join);
+        let tree = Plan::project(x, Plan::join(vec![Plan::scan(&s, 1), Plan::scan(&s, 2)]));
+        assert_eq!(store.plan(proj), tree);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = shape_of("q :- R(x), S(x, y), T(y)");
+        let inner = Plan::project(
+            s.atom_vars[0],
+            Plan::join(vec![Plan::scan(&s, 0), Plan::scan(&s, 1)]),
+        );
+        let p = Plan::project(VarSet::EMPTY, Plan::join(vec![inner, Plan::scan(&s, 2)]));
+        let mut store = PlanStore::new();
+        let id = store.intern_plan(&p);
+        assert_eq!(store.plan(id), p);
+        // Re-interning is a no-op.
+        let id2 = store.intern_plan(&p);
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn noop_projection_elided() {
+        let s = shape_of("q :- R(x), S(x)");
+        let mut store = PlanStore::new();
+        let scan = store.scan(&s, 0);
+        let head = store.node(scan).head;
+        assert_eq!(store.project(head, scan), scan);
+    }
+
+    #[test]
+    fn min_dedups_and_unwraps() {
+        let s = shape_of("q :- R(x), S(x)");
+        let mut store = PlanStore::new();
+        let r = store.scan(&s, 0);
+        let s0 = store.scan(&s, 1);
+        let j = store.join(vec![r, s0]);
+        let p = store.project(VarSet::EMPTY, j);
+        assert_eq!(store.min_of(vec![p, p]), p);
+    }
+
+    #[test]
+    fn tree_sizes_count_materialized_nodes() {
+        let s = shape_of("q :- R(x), S(x, y), T(y)");
+        let mut store = PlanStore::new();
+        let inner = {
+            let sc = store.scan(&s, 1);
+            let tc = store.scan(&s, 2);
+            let j = store.join(vec![sc, tc]);
+            store.project(s.atom_vars[0], j)
+        };
+        let root = {
+            let r = store.scan(&s, 0);
+            let j = store.join(vec![r, inner]);
+            store.project(VarSet::EMPTY, j)
+        };
+        let sizes = store.tree_sizes();
+        assert_eq!(sizes[root.index()], store.plan(root).size() as u128);
+        assert_eq!(store.reachable_count(&[root]), store.len());
+    }
+}

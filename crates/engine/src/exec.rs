@@ -12,8 +12,8 @@ use crate::rel::{
     join_many, join_many_refs, min_combine_refs, min_into, project_det, project_max, project_prob,
     Rel,
 };
-use lapush_core::{Plan, PlanKind};
-use lapush_query::{Atom, Query, Var, VarSet};
+use lapush_core::{NodeKind, Plan, PlanId, PlanStore};
+use lapush_query::{Atom, Query, Var};
 use lapush_storage::{Database, DbCodec, FxHashMap, RowKey, Value};
 use std::fmt;
 use std::rc::Rc;
@@ -187,9 +187,29 @@ pub fn eval_plan(
     plan: &Plan,
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
+    let mut store = PlanStore::new();
+    let root = store.intern_plan(plan);
+    eval_plan_id(db, q, &store, root, opts)
+}
+
+/// Evaluate one interned plan of `store` against the database — the
+/// id-based core behind [`eval_plan`].
+///
+/// With `reuse_views` the evaluation memoizes every node result by
+/// [`PlanId`]: hash-consing makes id equality structural equality, so this
+/// is Optimization 2's view sharing (for plans from
+/// `lapush_core::single_plan`, equal subquery keys denote equal subplans,
+/// hence equal ids) and is sound for *any* plan, not only single plans.
+pub fn eval_plan_id(
+    db: &Database,
+    q: &Query,
+    store: &PlanStore,
+    root: PlanId,
+    opts: ExecOptions,
+) -> Result<AnswerSet, ExecError> {
     let prepared = prepare_atoms(db, q)?;
-    let mut ctx = EvalCtx::default();
-    let rel = eval_node(db, &prepared, q, plan, opts, &mut ctx, false)?;
+    let mut ctx = EvalCtx::new(opts.reuse_views);
+    let rel = eval_node(db, &prepared, q, store, root, opts, &mut ctx)?;
     Ok(decode_answers(&rel, q.head(), &db.codec()))
 }
 
@@ -197,18 +217,27 @@ pub fn eval_plan(
 /// views) hand out another reference to the same relation.
 type RcRel = Rc<Rel>;
 
-/// Per-evaluation memoization state.
-#[derive(Default)]
+/// Per-evaluation memoization state: one memo keyed by [`PlanId`].
+///
+/// Scan nodes are always memoized (a scan depends only on the database,
+/// the atom, and the semantics — all fixed for the lifetime of the
+/// context). Inner nodes are memoized when `memo_all` is set: for a single
+/// plan that is Optimization 2's view reuse; across the plan set of
+/// [`propagation_score`] it makes identical subplans of different minimal
+/// plans evaluate exactly once. Either way a hit returns the same relation
+/// the recomputation would produce, so results are bit-identical.
 struct EvalCtx {
-    /// Optimization 2 subquery memo, keyed by `(atoms_mask, head)`. Sound
-    /// only within a single plan produced by `lapush_core::single_plan`
-    /// (equal keys denote equal subplans there); cleared between plans.
-    views: FxHashMap<(u64, VarSet), RcRel>,
-    /// Scan memo, keyed by atom index. A scan depends only on the database,
-    /// the atom, and the semantics — all fixed for the lifetime of the
-    /// context — so this memo is safe across plans of the same evaluation
-    /// (`propagation_score` shares it over all minimal plans).
-    scans: FxHashMap<usize, RcRel>,
+    memo: FxHashMap<PlanId, RcRel>,
+    memo_all: bool,
+}
+
+impl EvalCtx {
+    fn new(memo_all: bool) -> Self {
+        EvalCtx {
+            memo: FxHashMap::default(),
+            memo_all,
+        }
+    }
 }
 
 /// Decode an encoded result into the value-level [`AnswerSet`], reordering
@@ -238,58 +267,55 @@ fn eval_node(
     db: &Database,
     prepared: &[PreparedAtom],
     q: &Query,
-    plan: &Plan,
+    store: &PlanStore,
+    id: PlanId,
     opts: ExecOptions,
     ctx: &mut EvalCtx,
-    skip_cache_here: bool,
 ) -> Result<RcRel, ExecError> {
-    let key = (plan.atoms_mask, plan.head);
-    let cacheable =
-        opts.reuse_views && !skip_cache_here && !matches!(plan.kind, PlanKind::Scan { .. });
+    let node = store.node(id);
+    let is_scan = matches!(node.kind, NodeKind::Scan { .. });
+    let cacheable = is_scan || ctx.memo_all;
     if cacheable {
-        if let Some(hit) = ctx.views.get(&key) {
+        if let Some(hit) = ctx.memo.get(&id) {
             return Ok(Rc::clone(hit));
         }
     }
-    let result: RcRel = match &plan.kind {
-        PlanKind::Scan { atom } => match ctx.scans.get(atom) {
-            Some(hit) => Rc::clone(hit),
-            None => {
-                let scanned = Rc::new(scan_atom(db, &prepared[*atom], q, &q.atoms()[*atom], opts));
-                ctx.scans.insert(*atom, Rc::clone(&scanned));
-                scanned
-            }
-        },
-        PlanKind::Project { input } => {
-            let child = eval_node(db, prepared, q, input, opts, ctx, false)?;
-            let keep: Vec<Var> = plan.head.iter().collect();
+    let result: RcRel = match &node.kind {
+        NodeKind::Scan { atom } => {
+            Rc::new(scan_atom(db, &prepared[*atom], q, &q.atoms()[*atom], opts))
+        }
+        NodeKind::Project { input } => {
+            let child = eval_node(db, prepared, q, store, *input, opts, ctx)?;
+            let keep: Vec<Var> = node.head.iter().collect();
             Rc::new(match opts.semantics {
                 Semantics::Probabilistic => project_prob(&child, &keep),
                 Semantics::LowerBound => project_max(&child, &keep),
                 Semantics::Deterministic => project_det(&child, &keep),
             })
         }
-        PlanKind::Join { inputs } => {
+        NodeKind::Join { inputs } => {
             let children = inputs
                 .iter()
-                .map(|c| eval_node(db, prepared, q, c, opts, ctx, false))
+                .map(|&c| eval_node(db, prepared, q, store, c, opts, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
             let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
             Rc::new(join_many_refs(&refs))
         }
-        PlanKind::Min { inputs } => {
-            // Branch children share this node's subquery key but are
-            // *different* subplans: they must not be cached under it.
+        NodeKind::Min { inputs } => {
+            // Min branches are distinct subplans with distinct ids, so the
+            // id-keyed memo never conflates them with this node — the
+            // subquery-key collision the tree evaluator had to special-case
+            // cannot happen here.
             let children = inputs
                 .iter()
-                .map(|c| eval_node(db, prepared, q, c, opts, ctx, true))
+                .map(|&c| eval_node(db, prepared, q, store, c, opts, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
             let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
             Rc::new(min_combine_refs(&refs))
         }
     };
     if cacheable {
-        ctx.views.insert(key, Rc::clone(&result));
+        ctx.memo.insert(id, Rc::clone(&result));
     }
     Ok(result)
 }
@@ -328,34 +354,48 @@ fn scan_atom(db: &Database, prep: &PreparedAtom, q: &Query, atom: &Atom, opts: E
 /// Evaluate a set of plans and combine their scores with a per-tuple
 /// minimum: the propagation score `ρ(q)` when given all minimal plans
 /// (Definition 14).
+///
+/// The plans are interned into one hash-consed store first, so subplans
+/// shared across minimal plans — for chain queries, almost all of them —
+/// evaluate exactly once (see [`propagation_score_ids`]).
 pub fn propagation_score(
     db: &Database,
     q: &Query,
     plans: &[Plan],
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
-    assert!(!plans.is_empty(), "no plans to evaluate");
+    let mut store = PlanStore::new();
+    let roots: Vec<PlanId> = plans.iter().map(|p| store.intern_plan(p)).collect();
+    propagation_score_ids(db, q, &store, &roots, opts)
+}
+
+/// [`propagation_score`] over interned plans: one [`PlanId`]-keyed memo
+/// spans the whole plan set, so every distinct subplan — scans, shared
+/// views, entire subtrees common to several minimal plans — is evaluated
+/// exactly once per call. Results are bit-identical to evaluating each
+/// plan in isolation (a memo hit returns the same relation the
+/// recomputation would), only the repeated work disappears.
+pub fn propagation_score_ids(
+    db: &Database,
+    q: &Query,
+    store: &PlanStore,
+    roots: &[PlanId],
+    opts: ExecOptions,
+) -> Result<AnswerSet, ExecError> {
+    let (&first_root, rest) = roots.split_first().expect("no plans to evaluate");
     let prepared = prepare_atoms(db, q)?;
-    let mut ctx = EvalCtx::default();
+    let mut ctx = EvalCtx::new(true);
+    let first = eval_node(db, &prepared, q, store, first_root, opts, &mut ctx)?;
+    // The memo keeps every node's Rc alive, so the first result can never
+    // be unwrapped in place; clone it only once a second plan actually
+    // needs a mutable accumulator (single-plan sets decode it directly).
     let mut acc: Option<Rel> = None;
-    for p in plans {
-        // The subquery memo is per plan; the scan memo carries over.
-        ctx.views.clear();
-        let next = eval_node(db, &prepared, q, p, opts, &mut ctx, false)?;
-        match &mut acc {
-            None => {
-                // Drop this plan's view memo before unwrapping so the root
-                // Rc is normally unique and no map copy happens; only a
-                // bare scan root (single-atom plan, shared with the scan
-                // memo) still pays a small clone.
-                ctx.views.clear();
-                acc = Some(Rc::try_unwrap(next).unwrap_or_else(|rc| (*rc).clone()));
-            }
-            Some(acc) => min_into(acc, &next),
-        }
+    for &root in rest {
+        let next = eval_node(db, &prepared, q, store, root, opts, &mut ctx)?;
+        min_into(acc.get_or_insert_with(|| (*first).clone()), &next);
     }
-    let acc = acc.expect("at least one plan");
-    Ok(decode_answers(&acc, q.head(), &db.codec()))
+    let result = acc.as_ref().unwrap_or_else(|| first.as_ref());
+    Ok(decode_answers(result, q.head(), &db.codec()))
 }
 
 /// The "standard SQL" baseline: evaluate the query under set semantics with

@@ -46,6 +46,30 @@
 //! are memoized per atom (across all plans of a `propagation_score` call)
 //! and Optimization 2's view memo hands out reference-counted relations,
 //! so a cache hit costs a pointer bump, not a hash-map clone.
+//!
+//! ## Hash-consed plan evaluation
+//!
+//! Plans arrive as ids into a `lapush_core::PlanStore` — a hash-consed DAG
+//! in which structurally equal subplans share one `lapush_core::PlanId`
+//! ([`exec::eval_plan_id`], [`exec::propagation_score_ids`]; the tree
+//! entry points intern their input first). The evaluator's one memo is
+//! keyed by `PlanId`:
+//!
+//! * scan nodes are always memoized (a scan depends only on the database,
+//!   atom, and semantics);
+//! * with [`exec::ExecOptions::reuse_views`], every node is — that is
+//!   Optimization 2, since equal subquery keys of a
+//!   `lapush_core::single_plan` denote equal subplans and therefore equal
+//!   ids, and unlike the old subquery-key memo it is sound for arbitrary
+//!   plans (`min` branches have their own ids, so no special-casing);
+//! * [`propagation_score`] memoizes across the *whole plan set*, so a
+//!   subplan occurring in many minimal plans is evaluated once per call.
+//!
+//! A memo hit hands out the same reference-counted relation the
+//! recomputation would have produced, so answer sets are bit-identical to
+//! plan-at-a-time evaluation.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod exec;
 pub mod prepare;
@@ -53,8 +77,8 @@ pub mod rel;
 pub mod semijoin;
 
 pub use exec::{
-    deterministic_answers, eval_plan, propagation_score, AnswerSet, ExecError, ExecOptions,
-    Semantics,
+    deterministic_answers, eval_plan, eval_plan_id, propagation_score, propagation_score_ids,
+    AnswerSet, ExecError, ExecOptions, Semantics,
 };
 pub use rel::Rel;
 pub use semijoin::reduce_database;

@@ -20,12 +20,15 @@
 use crate::formula::Dnf;
 use lapush_storage::FxHashMap;
 
-/// Statistics from one exact computation.
+/// Statistics from exact computation — cumulative over the lifetime of an
+/// [`ExactComputer`] (one answer for the free functions; a whole answer
+/// set when the computer is shared across answers).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactStats {
     /// Number of Shannon expansions performed (0 ⇔ read-once evaluation).
     pub shannon_splits: usize,
-    /// Number of cache hits.
+    /// Number of cache hits, including hits on sub-formulas memoized by
+    /// *earlier* answers when the computer is shared.
     pub cache_hits: usize,
     /// Number of recursive calls.
     pub calls: usize,
@@ -34,25 +37,14 @@ pub struct ExactStats {
 /// Exact probability of a monotone DNF under independent variables with
 /// probabilities `probs[v]`.
 pub fn exact_prob(dnf: &Dnf, probs: &[f64]) -> f64 {
-    let mut ctx = Ctx {
-        probs,
-        memo: FxHashMap::default(),
-        stats: ExactStats::default(),
-        budget: u64::MAX,
-    };
-    ctx.prob(dnf.clone()).expect("unbounded budget")
+    ExactComputer::new(probs).prob(dnf)
 }
 
 /// Exact probability plus evaluation statistics.
 pub fn exact_prob_with_stats(dnf: &Dnf, probs: &[f64]) -> (f64, ExactStats) {
-    let mut ctx = Ctx {
-        probs,
-        memo: FxHashMap::default(),
-        stats: ExactStats::default(),
-        budget: u64::MAX,
-    };
-    let p = ctx.prob(dnf.clone()).expect("unbounded budget");
-    (p, ctx.stats)
+    let mut comp = ExactComputer::new(probs);
+    let p = comp.prob(dnf);
+    (p, comp.stats())
 }
 
 /// Budgeted exact probability: gives up (returns `None`) once the number of
@@ -61,13 +53,7 @@ pub fn exact_prob_with_stats(dnf: &Dnf, probs: &[f64]) -> (f64, ExactStats) {
 /// SampleSearch becomes infeasible. The budget makes that cut-off explicit
 /// and deterministic.
 pub fn exact_prob_bounded(dnf: &Dnf, probs: &[f64], max_calls: u64) -> Option<f64> {
-    let mut ctx = Ctx {
-        probs,
-        memo: FxHashMap::default(),
-        stats: ExactStats::default(),
-        budget: max_calls,
-    };
-    ctx.prob(dnf.clone())
+    ExactComputer::new(probs).prob_bounded(dnf, max_calls)
 }
 
 /// Is the formula read-once evaluable by this decomposition (no Shannon
@@ -76,17 +62,67 @@ pub fn is_read_once(dnf: &Dnf, probs: &[f64]) -> bool {
     exact_prob_with_stats(dnf, probs).1.shannon_splits == 0
 }
 
-struct Ctx<'a> {
+/// A reusable exact-probability evaluator over one fixed probability
+/// table: the Shannon-expansion memo persists across [`prob`] calls.
+///
+/// The answers of one query share sub-formulas — their lineages draw from
+/// the same base tuples, and Shannon expansion exposes the overlap — so
+/// evaluating a whole answer set through one computer turns repeated
+/// model-counting work into cache hits ([`stats`] reports them). Sharing
+/// is sound because the memo is keyed by the (canonical) sub-formula and
+/// every DNF of one [`crate::build::Lineage`] uses the same global
+/// variable numbering; a hit returns exactly the value recomputation
+/// would.
+///
+/// [`prob`]: ExactComputer::prob
+/// [`stats`]: ExactComputer::stats
+#[derive(Debug, Clone)]
+pub struct ExactComputer<'a> {
     probs: &'a [f64],
     memo: FxHashMap<Dnf, f64>,
     stats: ExactStats,
+    /// Call budget for the *current* top-level run (`u64::MAX` when
+    /// unbounded); compared against `calls - run_start`.
     budget: u64,
+    run_start: u64,
 }
 
-impl Ctx<'_> {
-    fn prob(&mut self, f: Dnf) -> Option<f64> {
+impl<'a> ExactComputer<'a> {
+    /// New evaluator over `probs` (probability of each formula variable).
+    pub fn new(probs: &'a [f64]) -> Self {
+        ExactComputer {
+            probs,
+            memo: FxHashMap::default(),
+            stats: ExactStats::default(),
+            budget: u64::MAX,
+            run_start: 0,
+        }
+    }
+
+    /// Exact probability of `dnf`, reusing everything memoized so far.
+    pub fn prob(&mut self, dnf: &Dnf) -> f64 {
+        self.budget = u64::MAX;
+        self.prob_rec(dnf.clone()).expect("unbounded budget")
+    }
+
+    /// Budgeted variant: `None` once this call (not the computer's
+    /// lifetime) exceeds `max_calls` recursive steps. Note that earlier
+    /// memoized work lowers the cost of later formulas, so a shared
+    /// computer may solve a formula a fresh one would give up on.
+    pub fn prob_bounded(&mut self, dnf: &Dnf, max_calls: u64) -> Option<f64> {
+        self.budget = max_calls;
+        self.run_start = self.stats.calls as u64;
+        self.prob_rec(dnf.clone())
+    }
+
+    /// Cumulative statistics across every call on this computer.
+    pub fn stats(&self) -> ExactStats {
+        self.stats
+    }
+
+    fn prob_rec(&mut self, f: Dnf) -> Option<f64> {
         self.stats.calls += 1;
-        if self.stats.calls as u64 > self.budget {
+        if self.stats.calls as u64 - self.run_start > self.budget {
             return None;
         }
         if f.is_false() {
@@ -124,7 +160,7 @@ impl Ctx<'_> {
                         .map(|&i| f.implicants[i].to_vec())
                         .collect::<Vec<_>>(),
                 );
-                not_any *= 1.0 - self.prob(sub)?;
+                not_any *= 1.0 - self.prob_rec(sub)?;
             }
             return Some(1.0 - not_any);
         }
@@ -144,7 +180,7 @@ impl Ctx<'_> {
                 factor *= self.probs[v as usize];
                 rest = rest.assume_true(v);
             }
-            return Some(factor * self.prob(rest)?);
+            return Some(factor * self.prob_rec(rest)?);
         }
 
         // Step 4: Shannon expansion on the most frequent variable.
@@ -154,8 +190,8 @@ impl Ctx<'_> {
             .max_by_key(|&(&v, &c)| (c, std::cmp::Reverse(v)))
             .expect("non-empty formula");
         let p = self.probs[pivot as usize];
-        let hi = self.prob(f.assume_true(pivot))?;
-        let lo = self.prob(f.assume_false(pivot))?;
+        let hi = self.prob_rec(f.assume_true(pivot))?;
+        let lo = self.prob_rec(f.assume_false(pivot))?;
         Some(p * hi + (1.0 - p) * lo)
     }
 }
@@ -310,6 +346,49 @@ mod tests {
         let full = exact_prob(&dnf, &probs);
         let bounded = exact_prob_bounded(&dnf, &probs, 10_000_000).unwrap();
         assert!((full - bounded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_computer_matches_fresh_and_reports_hits() {
+        // One computer across several formulas returns exactly what fresh
+        // computers return, and repeated/overlapping sub-formulas become
+        // cache hits.
+        let probs = [0.5; 6];
+        let formulas = [
+            Dnf::new([vec![0, 1], vec![1, 2], vec![2, 3]]),
+            Dnf::new([vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]),
+            Dnf::new([vec![0, 1], vec![1, 2], vec![2, 3]]), // repeat of #1
+            Dnf::new([vec![4, 5], vec![0, 5]]),
+        ];
+        let mut comp = ExactComputer::new(&probs);
+        for f in &formulas {
+            let shared = comp.prob(f);
+            let fresh = exact_prob(f, &probs);
+            assert!((shared - fresh).abs() < 1e-15, "{f:?}");
+        }
+        // The verbatim repeat alone guarantees at least one memo hit.
+        assert!(comp.stats().cache_hits >= 1);
+        assert!(comp.stats().calls > 0);
+    }
+
+    #[test]
+    fn shared_computer_budget_is_per_call() {
+        // The budget applies to the current run, not the computer's
+        // cumulative call count: a cheap first formula must not eat the
+        // budget of the second.
+        let probs = [0.5; 14];
+        let cheap = Dnf::new([vec![0, 1]]);
+        let hard = Dnf::new((0..13).map(|i| vec![i as u32, i as u32 + 1]));
+        let mut comp = ExactComputer::new(&probs);
+        for _ in 0..50 {
+            comp.prob(&cheap);
+        }
+        let full = exact_prob(&hard, &probs);
+        let bounded = comp.prob_bounded(&hard, 10_000_000).unwrap();
+        assert!((full - bounded).abs() < 1e-12);
+        // And a tiny budget still gives up on a fresh hard formula.
+        let mut fresh = ExactComputer::new(&probs);
+        assert_eq!(fresh.prob_bounded(&hard, 5), None);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`fd`] — variable-level functional dependencies and attribute closure
 //!   (Section 3.3.2).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod analysis;
 pub mod ast;
 pub mod fd;

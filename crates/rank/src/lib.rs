@@ -15,6 +15,8 @@
 //! With 25 answers and an uninformative (all-tied) system ranking,
 //! `MAP@10 ≈ 0.220` — the paper's "random average precision" baseline.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Probability that item `i` lands in the top `k` of a ranking by `scores`
 /// (descending), when ties are broken uniformly at random.
 ///

@@ -27,6 +27,8 @@
 //! The crate also ships a small, fast, non-cryptographic hasher
 //! ([`fxhash`]) used throughout the engine for hot joins on integer keys.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod csv;
 pub mod database;
 pub mod error;

@@ -13,6 +13,8 @@
 //!
 //! All generators take explicit seeds and are fully deterministic.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod chain;
 pub mod random;
 pub mod star;

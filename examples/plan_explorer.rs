@@ -1,13 +1,17 @@
 //! Interactive plan explorer: parse a query from the command line and
-//! print its safety status, dissociation counts, all minimal plans, and
-//! the combined single plan with its shared views.
+//! print its safety status, dissociation counts, all minimal plans with
+//! the hash-consed DAG's sharing statistics, and the combined single plan
+//! with its shared views.
 //!
 //! Run with:
 //! `cargo run --example plan_explorer -- 'q(z) :- R(z, x), S(x, y), T(y)'`
+//!
+//! The expected output for the default query is reproduced in
+//! `docs/ARCHITECTURE.md`.
 
 use lapushdb::core::{
-    count_all_plans, count_dissociations, count_minimal_plans, minimal_plans, shared_subqueries,
-    single_plan, EnumOptions, SchemaInfo,
+    count_all_plans, count_dissociations, count_minimal_plans, minimal_plan_set,
+    shared_subqueries_in, single_plan_id, EnumOptions, SchemaInfo,
 };
 use lapushdb::prelude::*;
 use lapushdb::query::is_hierarchical;
@@ -36,18 +40,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  safe dissociations:     {}", count_all_plans(&shape));
     println!("  minimal plans:          {}", count_minimal_plans(&shape));
 
-    let plans = minimal_plans(&shape);
+    let set = minimal_plan_set(&shape);
+    let plans = set.plans();
     println!("\nminimal plans (each an upper bound; ρ(q) = their minimum):");
     for (i, p) in plans.iter().enumerate() {
         println!("  P{}: {}", i + 1, p.render(&q));
     }
 
-    let schema = SchemaInfo::from_query(&q);
-    let sp = single_plan(&q, &schema, EnumOptions::default());
-    println!("\nsingle plan (Optimization 1):");
-    println!("  {}", sp.render(&q));
+    // Hash-consing statistics: the enumerator interns structurally equal
+    // subplans once, so the DAG is (much) smaller than the forest of
+    // materialized plan trees.
+    println!(
+        "\nplan DAG: {} interned nodes vs {} materialized tree nodes ({} plans)",
+        set.dag_node_count(),
+        set.tree_node_count(),
+        set.len()
+    );
 
-    let shared: Vec<_> = shared_subqueries(&sp)
+    let schema = SchemaInfo::from_query(&q);
+    let mut sp_store = PlanStore::new();
+    let sp = single_plan_id(&mut sp_store, &q, &schema, EnumOptions::default());
+    println!("\nsingle plan (Optimization 1):");
+    println!("  {}", sp_store.plan(sp).render(&q));
+
+    let shared: Vec<_> = shared_subqueries_in(&sp_store, sp)
         .into_iter()
         .filter(|(_, c)| *c >= 2)
         .collect();

@@ -1,11 +1,12 @@
 //! High-level drivers tying the crates together: one call from query text
 //! to ranked answers, for each of the paper's evaluation methods.
 
-use lapush_core::{minimal_plans_opts, single_plan, EnumOptions, SchemaInfo};
+use lapush_core::{minimal_plan_set_opts, single_plan_id, EnumOptions, PlanStore, SchemaInfo};
 use lapush_engine::{
-    eval_plan, propagation_score, reduce_database, AnswerSet, ExecError, ExecOptions, Semantics,
+    eval_plan_id, propagation_score_ids, reduce_database, AnswerSet, ExecError, ExecOptions,
+    Semantics,
 };
-use lapush_lineage::{build_lineage, exact_prob, monte_carlo, LineageError};
+use lapush_lineage::{build_lineage, monte_carlo, ExactComputer, ExactStats, LineageError};
 use lapush_query::Query;
 use lapush_storage::{Database, FxHashMap, Value};
 use std::fmt;
@@ -97,22 +98,27 @@ pub fn rank_by_dissociation(
         db
     };
 
+    // Plans stay in their hash-consed DAG form end to end: the enumerators
+    // intern into a `PlanStore` and the engine evaluates ids against it —
+    // no plan trees are materialized on this path.
     let ans = match opts.opt {
         OptLevel::MultiPlan => {
-            let plans = minimal_plans_opts(q, &schema, enum_opts);
-            propagation_score(data, q, &plans, ExecOptions::default())?
+            let set = minimal_plan_set_opts(q, &schema, enum_opts);
+            propagation_score_ids(data, q, &set.store, &set.roots, ExecOptions::default())?
         }
         OptLevel::Opt1 => {
-            let plan = single_plan(q, &schema, enum_opts);
-            eval_plan(data, q, &plan, ExecOptions::default())?
+            let mut store = PlanStore::new();
+            let root = single_plan_id(&mut store, q, &schema, enum_opts);
+            eval_plan_id(data, q, &store, root, ExecOptions::default())?
         }
         OptLevel::Opt12 | OptLevel::Opt123 => {
-            let plan = single_plan(q, &schema, enum_opts);
+            let mut store = PlanStore::new();
+            let root = single_plan_id(&mut store, q, &schema, enum_opts);
             let exec = ExecOptions {
                 semantics: Semantics::Probabilistic,
                 reuse_views: true,
             };
-            eval_plan(data, q, &plan, exec)?
+            eval_plan_id(data, q, &store, root, exec)?
         }
     };
     Ok(ans)
@@ -128,37 +134,62 @@ pub fn rank_by_dissociation(
 /// per answer.
 pub fn bound_answers(db: &Database, q: &Query) -> Result<(AnswerSet, AnswerSet), DriverError> {
     let schema = SchemaInfo::from_query(q);
-    let plans = minimal_plans_opts(q, &schema, EnumOptions::default());
-    let upper = propagation_score(db, q, &plans, ExecOptions::default())?;
+    let set = minimal_plan_set_opts(q, &schema, EnumOptions::default());
+    let upper = propagation_score_ids(db, q, &set.store, &set.roots, ExecOptions::default())?;
     let low_opts = ExecOptions {
         semantics: Semantics::LowerBound,
         reuse_views: false,
     };
-    let mut lower = eval_plan(db, q, &plans[0], low_opts)?;
-    for p in &plans[1..] {
-        let next = eval_plan(db, q, p, low_opts)?;
-        lower.max_with(&next);
+    let mut lower: Option<AnswerSet> = None;
+    for &root in &set.roots {
+        let next = eval_plan_id(db, q, &set.store, root, low_opts)?;
+        match &mut lower {
+            None => lower = Some(next),
+            Some(acc) => acc.max_with(&next),
+        }
     }
+    let lower = lower.expect("at least one plan");
     Ok((lower, upper))
 }
 
 /// Exact answer probabilities via lineage + weighted model counting
 /// (the ground-truth oracle; exponential in lineage connectivity).
+///
+/// All answers are counted through one [`ExactComputer`], so the Shannon
+/// memo built for one answer's lineage serves every later answer (their
+/// DNFs share the same global variable numbering and usually overlap).
 pub fn exact_answers(db: &Database, q: &Query) -> Result<AnswerSet, DriverError> {
+    exact_answers_with_stats(db, q).map(|(ans, _)| ans)
+}
+
+/// [`exact_answers`] plus cumulative model-counting statistics — the
+/// cross-answer memo hits show up in [`ExactStats::cache_hits`].
+pub fn exact_answers_with_stats(
+    db: &Database,
+    q: &Query,
+) -> Result<(AnswerSet, ExactStats), DriverError> {
     let lin = build_lineage(db, q)?;
+    let mut comp = ExactComputer::new(&lin.var_probs);
     let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
     for a in &lin.answers {
-        rows.insert(a.key.clone(), exact_prob(&a.dnf, &lin.var_probs));
+        rows.insert(a.key.clone(), comp.prob(&a.dnf));
     }
-    Ok(AnswerSet {
-        vars: q.head().to_vec(),
-        rows,
-    })
+    Ok((
+        AnswerSet {
+            vars: q.head().to_vec(),
+            rows,
+        },
+        comp.stats(),
+    ))
 }
 
 /// Budgeted exact answers: `None` if any answer's model count exceeds
 /// `max_calls` recursive steps (the explicit analogue of the paper skipping
 /// SampleSearch ground truth when it becomes infeasible).
+///
+/// Each answer gets a fresh computer on purpose: the budget is a property
+/// of one answer's formula, and a shared memo would let earlier answers
+/// subsidize later ones, making the cut-off depend on answer order.
 pub fn exact_answers_bounded(
     db: &Database,
     q: &Query,
@@ -305,6 +336,22 @@ mod tests {
         let exact = exact_answers(&db, &q).unwrap().boolean_score();
         let mc = mc_answers(&db, &q, 100_000, 7).unwrap().boolean_score();
         assert!((mc - exact).abs() < 0.01, "mc {mc} exact {exact}");
+    }
+
+    #[test]
+    fn exact_answers_shared_memo_matches_per_answer_computation() {
+        use lapush_lineage::exact_prob;
+        let db = rst_db();
+        let q = parse_query("q(x) :- R(x), S(x, y), T(y)").unwrap();
+        let (ans, stats) = exact_answers_with_stats(&db, &q).unwrap();
+        assert!(stats.calls > 0);
+        // The shared-memo answers are bit-identical to fresh per-answer
+        // model counting.
+        let lin = lapush_lineage::build_lineage(&db, &q).unwrap();
+        for a in &lin.answers {
+            let fresh = exact_prob(&a.dnf, &lin.var_probs);
+            assert_eq!(ans.score_of(&a.key), fresh);
+        }
     }
 
     #[test]

@@ -40,11 +40,16 @@
 //! |---|---|
 //! | [`storage`] | values, tuples, relations, probabilistic databases, FDs |
 //! | [`query`] | sjfCQ AST + parser, hierarchy test, cut-sets, FD closure |
-//! | [`core`] | dissociations, Algorithm 1 (+DR/FD), plan algebra, Opts 1–2 |
-//! | [`engine`] | extensional executor, view reuse, semi-join reduction |
+//! | [`core`] | dissociations, Algorithm 1 (+DR/FD), hash-consed plan DAG, Opts 1–2 |
+//! | [`engine`] | extensional executor over plan ids, view reuse, semi-join reduction |
 //! | [`lineage`] | lineage DNFs, exact WMC, Monte Carlo, Karp–Luby |
 //! | [`rank`] | tie-aware AP@k / MAP metrics |
 //! | [`workload`] | TPC-H-style, k-chain, k-star, random generators |
+//!
+//! The stage-by-stage walkthrough — parse → shape/FD analysis → plan DAG
+//! enumeration → dictionary-encoded execution → lineage/ranking, with each
+//! stage cross-referenced to its paper section and source file — lives in
+//! [docs/ARCHITECTURE.md](../../../docs/ARCHITECTURE.md) in the repository.
 //!
 //! ## Benchmarking
 //!
@@ -71,6 +76,8 @@
 //!
 //! See `benches/baselines/README.md` for how baselines are regenerated.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use lapush_core as core;
 pub use lapush_engine as engine;
 pub use lapush_lineage as lineage;
@@ -83,8 +90,8 @@ pub mod benchsuite;
 pub mod driver;
 
 pub use driver::{
-    bound_answers, exact_answers, exact_answers_bounded, lineage_stats, mc_answers,
-    rank_by_dissociation, DriverError, OptLevel, RankOptions,
+    bound_answers, exact_answers, exact_answers_bounded, exact_answers_with_stats, lineage_stats,
+    mc_answers, rank_by_dissociation, DriverError, OptLevel, RankOptions,
 };
 
 /// Commonly used items in one import.
@@ -93,7 +100,8 @@ pub mod prelude {
         exact_answers, lineage_stats, mc_answers, rank_by_dissociation, OptLevel, RankOptions,
     };
     pub use lapush_core::{
-        minimal_plans, minimal_plans_opts, single_plan, EnumOptions, Plan, SchemaInfo,
+        minimal_plan_set, minimal_plans, minimal_plans_opts, single_plan, EnumOptions, Plan,
+        PlanId, PlanSet, PlanStore, SchemaInfo,
     };
     pub use lapush_engine::{
         deterministic_answers, eval_plan, propagation_score, reduce_database, AnswerSet,

@@ -1,0 +1,443 @@
+//! Equivalence of the hash-consed DAG enumerator with the original
+//! tree-level Algorithm 1.
+//!
+//! The DAG enumerator memoizes subqueries and dedups by interned id; this
+//! suite pins down that its *decoded* plan sets are exactly the plan sets
+//! the unmemoized tree recursion produces (sorted structurally), across
+//! every [`EnumOptions`] combination, for the paper's chain/star families
+//! and for random query shapes. The `reference` module below is a faithful
+//! copy of the pre-DAG recursion, kept tree-level on purpose.
+
+use lapushdb::core::enumerate::chase_shape;
+use lapushdb::core::{
+    all_plans, count_all_plans, count_minimal_plans, minimal_plan_set, minimal_plans_opts,
+    minimal_plans_with, EnumOptions, SchemaInfo,
+};
+use lapushdb::prelude::*;
+use lapushdb::query::VarFd;
+use lapushdb::workload::random_query;
+use proptest::prelude::*;
+
+/// The seed (pre-DAG) enumeration: plain trees, no memoization, dedup by
+/// structural sort at the top only.
+mod reference {
+    use lapushdb::core::Plan;
+    use lapushdb::query::{
+        components, min_cuts, min_pcuts, separator_vars, QueryShape, VarFd, VarSet,
+    };
+
+    pub struct Ctx<'a> {
+        pub enum_shape: &'a QueryShape,
+        pub orig: &'a QueryShape,
+        pub use_det: bool,
+    }
+
+    impl Ctx<'_> {
+        fn stripped_vars(&self, atoms: &[usize]) -> VarSet {
+            atoms
+                .iter()
+                .fold(VarSet::EMPTY, |h, &a| h.union(self.orig.atom_vars[a]))
+        }
+
+        fn prob_count(&self, atoms: &[usize]) -> usize {
+            atoms
+                .iter()
+                .filter(|&&a| self.enum_shape.probabilistic[a])
+                .count()
+        }
+
+        fn join_all(&self, atoms: &[usize], head: VarSet) -> Plan {
+            let scans: Vec<Plan> = atoms.iter().map(|&a| Plan::scan(self.orig, a)).collect();
+            let joined = Plan::join(scans);
+            let keep = head.intersect(joined.head);
+            Plan::project(keep, joined)
+        }
+
+        fn dr_stop_plan(&self, atoms: &[usize], head: VarSet) -> Plan {
+            let sub_vars = self.enum_shape.vars_of(atoms);
+            let mut temp = self.enum_shape.clone();
+            for &a in atoms {
+                if !temp.probabilistic[a] {
+                    temp.atom_vars[a] = temp.atom_vars[a].union(sub_vars);
+                }
+            }
+            safe_plan_rec(&temp, self.orig, atoms, head)
+                .expect("m_p ≤ 1 subquery is hierarchical after dissociating DRs")
+        }
+    }
+
+    /// Tree-level Lemma 3 recursion (unique safe plan of a shape).
+    fn safe_plan_rec(
+        dshape: &QueryShape,
+        orig: &QueryShape,
+        atoms: &[usize],
+        head: VarSet,
+    ) -> Option<Plan> {
+        if atoms.len() == 1 {
+            let a = atoms[0];
+            let scan = Plan::scan(orig, a);
+            let keep = head.intersect(orig.atom_vars[a]);
+            return Some(Plan::project(keep, scan));
+        }
+        let comps = components(dshape, atoms, head);
+        if comps.len() > 1 {
+            let mut children = Vec::with_capacity(comps.len());
+            for comp in &comps {
+                let child_head = head.intersect(dshape.vars_of(comp));
+                children.push(safe_plan_rec(dshape, orig, comp, child_head)?);
+            }
+            Some(Plan::join(children))
+        } else {
+            let sep = separator_vars(dshape, atoms, head);
+            if sep.is_empty() {
+                return None;
+            }
+            let child = safe_plan_rec(dshape, orig, atoms, head.union(sep))?;
+            let keep = head.intersect(child.head);
+            Some(Plan::project(keep, child))
+        }
+    }
+
+    /// Algorithm 1 over plain trees (the seed `mp_rec`).
+    pub fn minimal_plans_with(
+        shape: &QueryShape,
+        fds: &[VarFd],
+        use_det: bool,
+        use_fds: bool,
+    ) -> Vec<Plan> {
+        let enum_shape = if use_fds {
+            super::chase_shape(shape, fds)
+        } else {
+            shape.clone()
+        };
+        let ctx = Ctx {
+            enum_shape: &enum_shape,
+            orig: shape,
+            use_det,
+        };
+        let atoms = enum_shape.all_atoms();
+        let mut plans = mp_rec(&ctx, &atoms, enum_shape.head);
+        plans.sort();
+        plans.dedup();
+        plans
+    }
+
+    fn mp_rec(ctx: &Ctx<'_>, atoms: &[usize], head: VarSet) -> Vec<Plan> {
+        if atoms.len() == 1 {
+            return vec![ctx.join_all(atoms, head)];
+        }
+        if ctx.use_det && ctx.prob_count(atoms) <= 1 {
+            return vec![ctx.dr_stop_plan(atoms, head)];
+        }
+        let comps = components(ctx.enum_shape, atoms, head);
+        if comps.len() > 1 {
+            let per_comp: Vec<Vec<Plan>> = comps
+                .iter()
+                .map(|comp| {
+                    let child_head = head.intersect(ctx.enum_shape.vars_of(comp));
+                    mp_rec(ctx, comp, child_head)
+                })
+                .collect();
+            let mut out = Vec::new();
+            cartesian_join(&per_comp, 0, &mut Vec::new(), &mut out);
+            out
+        } else {
+            let cuts = if ctx.use_det {
+                min_pcuts(ctx.enum_shape, atoms, head)
+            } else {
+                min_cuts(ctx.enum_shape, atoms, head)
+            };
+            let keep = head.intersect(ctx.stripped_vars(atoms));
+            let mut out = Vec::new();
+            for &y in &cuts {
+                for p in mp_rec(ctx, atoms, head.union(y)) {
+                    out.push(Plan::project(keep.intersect(p.head), p));
+                }
+            }
+            out
+        }
+    }
+
+    fn cartesian_join(per_comp: &[Vec<Plan>], i: usize, acc: &mut Vec<Plan>, out: &mut Vec<Plan>) {
+        if i == per_comp.len() {
+            out.push(Plan::join(acc.clone()));
+            return;
+        }
+        for p in &per_comp[i] {
+            acc.push(p.clone());
+            cartesian_join(per_comp, i + 1, acc, out);
+            acc.pop();
+        }
+    }
+
+    /// All-plans enumeration over plain trees (the seed version).
+    pub fn all_plans(shape: &QueryShape) -> Vec<Plan> {
+        let ctx = Ctx {
+            enum_shape: shape,
+            orig: shape,
+            use_det: false,
+        };
+        let atoms = shape.all_atoms();
+        let comps = components(shape, &atoms, shape.head);
+        let mut plans = if comps.len() > 1 {
+            let mut out = join_case(&ctx, &comps, shape.head);
+            out.extend(connected_plans(&ctx, &atoms, shape.head));
+            out
+        } else {
+            connected_plans(&ctx, &atoms, shape.head)
+        };
+        plans.sort();
+        plans.dedup();
+        plans
+    }
+
+    fn connected_plans(ctx: &Ctx<'_>, atoms: &[usize], head: VarSet) -> Vec<Plan> {
+        if atoms.len() == 1 {
+            return vec![ctx.join_all(atoms, head)];
+        }
+        let evars = ctx.enum_shape.existential_of(atoms, head);
+        let keep = head.intersect(ctx.stripped_vars(atoms));
+        let mut out = Vec::new();
+        for y in evars.subsets() {
+            if y.is_empty() {
+                continue;
+            }
+            let comps = components(ctx.enum_shape, atoms, head.union(y));
+            if comps.len() < 2 {
+                continue;
+            }
+            for jp in join_case(ctx, &comps, head.union(y)) {
+                out.push(Plan::project(keep.intersect(jp.head), jp));
+            }
+        }
+        out
+    }
+
+    fn join_case(ctx: &Ctx<'_>, comps: &[Vec<usize>], head: VarSet) -> Vec<Plan> {
+        let mut out = Vec::new();
+        for partition in partitions_min_blocks(comps.len(), 2) {
+            let mut per_group: Vec<Vec<Plan>> = Vec::with_capacity(partition.len());
+            let mut dead = false;
+            for block in &partition {
+                let mut group_atoms: Vec<usize> = block
+                    .iter()
+                    .flat_map(|&ci| comps[ci].iter().copied())
+                    .collect();
+                group_atoms.sort_unstable();
+                let group_head = head.intersect(ctx.enum_shape.vars_of(&group_atoms));
+                let plans = connected_plans(ctx, &group_atoms, group_head);
+                if plans.is_empty() {
+                    dead = true;
+                    break;
+                }
+                per_group.push(plans);
+            }
+            if dead {
+                continue;
+            }
+            cartesian_join(&per_group, 0, &mut Vec::new(), &mut out);
+        }
+        out
+    }
+
+    fn partitions_min_blocks(n: usize, min_blocks: usize) -> Vec<Vec<Vec<usize>>> {
+        let mut out = Vec::new();
+        let mut current: Vec<Vec<usize>> = Vec::new();
+        fn rec(i: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+            if i == n {
+                out.push(current.clone());
+                return;
+            }
+            for b in 0..current.len() {
+                current[b].push(i);
+                rec(i + 1, n, current, out);
+                current[b].pop();
+            }
+            current.push(vec![i]);
+            rec(i + 1, n, current, out);
+            current.pop();
+        }
+        rec(0, n, &mut current, &mut out);
+        out.retain(|p| p.len() >= min_blocks);
+        out
+    }
+}
+
+const ALL_OPTS: [EnumOptions; 4] = [
+    EnumOptions {
+        use_deterministic: false,
+        use_fds: false,
+    },
+    EnumOptions {
+        use_deterministic: true,
+        use_fds: false,
+    },
+    EnumOptions {
+        use_deterministic: false,
+        use_fds: true,
+    },
+    EnumOptions {
+        use_deterministic: true,
+        use_fds: true,
+    },
+];
+
+fn assert_enumerators_agree(shape: &QueryShape, fds: &[VarFd], label: &str) {
+    for opts in ALL_OPTS {
+        let dag = minimal_plans_with(shape, fds, opts);
+        let tree = reference::minimal_plans_with(shape, fds, opts.use_deterministic, opts.use_fds);
+        assert_eq!(dag, tree, "{label}, opts {opts:?}");
+    }
+}
+
+/// Boolean k-chain query with head (x0, xk), as in Figure 2.
+fn chain(k: usize) -> QueryShape {
+    let mut b = QueryBuilder::new("q");
+    let names: Vec<String> = (0..=k).map(|i| format!("x{i}")).collect();
+    b = b.head(&[names[0].as_str(), names[k].as_str()]);
+    for i in 1..=k {
+        b = b.atom(
+            &format!("R{i}"),
+            &[names[i - 1].as_str(), names[i].as_str()],
+        );
+    }
+    QueryShape::of_query(&b.build().unwrap())
+}
+
+/// k-star query, as in Figure 2.
+fn star(k: usize) -> QueryShape {
+    let mut b = QueryBuilder::new("q").head(&["a"]);
+    let names: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+    b = b.atom("R1", &["a", names[0].as_str()]);
+    for i in 2..=k {
+        b = b.atom(&format!("R{i}"), &[names[i - 1].as_str()]);
+    }
+    let all: Vec<&str> = names.iter().map(String::as_str).collect();
+    b = b.atom("R0", &all);
+    QueryShape::of_query(&b.build().unwrap())
+}
+
+#[test]
+fn chains_match_reference_up_to_k7() {
+    for k in 2..=7 {
+        assert_enumerators_agree(&chain(k), &[], &format!("chain k={k}"));
+    }
+}
+
+#[test]
+fn stars_match_reference_up_to_k5() {
+    for k in 1..=5 {
+        assert_enumerators_agree(&star(k), &[], &format!("star k={k}"));
+    }
+}
+
+#[test]
+fn deterministic_marked_queries_match_reference() {
+    for text in [
+        "q :- R(x), S(x, y), T^d(y)",
+        "q :- R^d(x), S(x, y), T^d(y)",
+        "q :- R(x, y), S^d(y, z), T(z, u)",
+        "q(z) :- R(z, x), S^d(x, y), T(y)",
+    ] {
+        let q = parse_query(text).unwrap();
+        let schema = SchemaInfo::from_query(&q);
+        let shape = schema.shape(&q);
+        assert_enumerators_agree(&shape, &schema.fds, text);
+        // The schema-level entry point agrees too.
+        for opts in ALL_OPTS {
+            assert_eq!(
+                minimal_plans_opts(&q, &schema, opts),
+                reference::minimal_plans_with(
+                    &shape,
+                    &schema.fds,
+                    opts.use_deterministic,
+                    opts.use_fds
+                ),
+                "{text}, opts {opts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fd_chase_matches_reference() {
+    let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+    let shape = QueryShape::of_query(&q);
+    let x = q.var_by_name("x").unwrap();
+    let y = q.var_by_name("y").unwrap();
+    let fds = vec![VarFd {
+        lhs: lapushdb::query::VarSet::single(x),
+        rhs: lapushdb::query::VarSet::single(y),
+    }];
+    assert_enumerators_agree(&shape, &fds, "RST with FD x→y");
+    // Sanity: the chase actually changes the enumeration shape here.
+    assert_ne!(chase_shape(&shape, &fds).atom_vars, shape.atom_vars);
+}
+
+#[test]
+fn counts_consistent_with_enumeration_and_figure2() {
+    // Figure 2 #MP: Catalan numbers for chains, k! for stars.
+    let catalan = [1u128, 2, 5, 14, 42, 132];
+    for (k, &expect) in (2..=7).zip(&catalan) {
+        let s = chain(k);
+        assert_eq!(count_minimal_plans(&s), expect, "chain k={k}");
+        assert_eq!(
+            minimal_plans(&s).len() as u128,
+            expect,
+            "chain k={k} enumeration"
+        );
+    }
+    let factorial = [1u128, 2, 6, 24, 120];
+    for (k, &expect) in (1..=5).zip(&factorial) {
+        let s = star(k);
+        assert_eq!(count_minimal_plans(&s), expect, "star k={k}");
+        assert_eq!(
+            minimal_plans(&s).len() as u128,
+            expect,
+            "star k={k} enumeration"
+        );
+    }
+}
+
+#[test]
+fn dag_is_never_larger_than_the_forest() {
+    for shape in [chain(4), chain(6), chain(7), star(3), star(5)] {
+        let set = minimal_plan_set(&shape);
+        assert_eq!(set.plans().len(), set.roots.len(), "roots are distinct");
+        assert!(
+            (set.dag_node_count() as u128) <= set.tree_node_count(),
+            "DAG larger than its own materialization?"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes: the DAG enumerator's decoded, sorted plan set equals
+    /// the tree recursion's, under every options combination.
+    #[test]
+    fn random_shapes_match_reference(seed in 0u64..5000, atoms in 2usize..5) {
+        let q = random_query(seed, atoms, 4);
+        let shape = QueryShape::of_query(&q);
+        for opts in ALL_OPTS {
+            let dag = minimal_plans_with(&shape, &[], opts);
+            let tree = reference::minimal_plans_with(
+                &shape, &[], opts.use_deterministic, opts.use_fds,
+            );
+            prop_assert_eq!(&dag, &tree, "seed {} opts {:?}", seed, opts);
+        }
+    }
+
+    /// Random shapes: all-plans enumeration (= all safe dissociations)
+    /// agrees with the tree version, and the count function with both.
+    #[test]
+    fn random_shapes_all_plans_match_reference(seed in 0u64..5000, atoms in 2usize..4) {
+        let q = random_query(seed, atoms, 4);
+        let shape = QueryShape::of_query(&q);
+        let dag = all_plans(&shape);
+        let tree = reference::all_plans(&shape);
+        prop_assert_eq!(&dag, &tree, "seed {}", seed);
+        prop_assert_eq!(dag.len() as u128, count_all_plans(&shape), "seed {}", seed);
+    }
+}
