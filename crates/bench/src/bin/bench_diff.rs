@@ -18,7 +18,11 @@
 //!
 //! Flags: `--no-checksums` / `--no-values` skip the exact comparisons
 //! (useful while intentionally changing results before regenerating
-//! baselines); `--quiet` prints failures only.
+//! baselines); `--quiet` prints failures only. Reports produced at
+//! different `--threads` counts are refused unless `--cross-threads` is
+//! passed — that mode is the determinism gate: checksums and values are
+//! still compared exactly, proving a parallel run computed bit-identical
+//! results to the serial one.
 
 use lapush_bench::diff::{diff_sets, has_failures, DiffOptions};
 use lapush_bench::report::load_dir;
@@ -32,6 +36,7 @@ fn main() {
         threshold_override: arg("threshold").and_then(|s| s.parse().ok()),
         ignore_checksums: flag("no-checksums"),
         ignore_values: flag("no-values"),
+        allow_thread_mismatch: flag("cross-threads"),
     };
     let quiet = flag("quiet");
 

@@ -60,7 +60,11 @@ fn main() {
             // extra evaluation cost.
             let metric = if m == Method::Opt12 {
                 let timed = measure::run(bench.spec(), || {
-                    rank_by_dissociation(&db, &q, RankOptions::default()).expect("diss")
+                    let opts = RankOptions {
+                        threads: lapush_bench::threads(),
+                        ..RankOptions::default()
+                    };
+                    rank_by_dissociation(&db, &q, opts).expect("diss")
                 });
                 answers = answers.max(timed.value.len());
                 cells.push(format!("{:.2}", timed.median_ms()));

@@ -13,10 +13,10 @@ use lapush_bench::report::Metric;
 use lapush_bench::{
     arg, checksum_answers, flag, measure, ms, print_table, scale, time, Bench, Scale,
 };
-use lapushdb::prelude::*;
 use lapushdb::workload::{tpch_db, tpch_query, TpchConfig};
 use lapushdb::{
-    exact_answers_bounded, lineage_stats, mc_answers, rank_by_dissociation, OptLevel, RankOptions,
+    exact_answers_bounded, lineage_stats, mc_answers_threaded, rank_by_dissociation, OptLevel,
+    RankOptions,
 };
 
 fn main() {
@@ -72,7 +72,8 @@ fn main() {
         let q = tpch_query(p1, param2);
 
         let t_sql = measure::run(bench.spec(), || {
-            deterministic_answers(&db, &q).expect("sql")
+            lapushdb::engine::deterministic_answers_par(&db, &q, lapush_bench::threads())
+                .expect("sql")
         });
         let t_diss = measure::run(bench.spec(), || {
             rank_by_dissociation(
@@ -81,6 +82,7 @@ fn main() {
                 RankOptions {
                     opt: OptLevel::Opt12,
                     use_schema: false,
+                    threads: lapush_bench::threads(),
                 },
             )
             .expect("diss")
@@ -92,6 +94,7 @@ fn main() {
                 RankOptions {
                     opt: OptLevel::Opt123,
                     use_schema: false,
+                    threads: lapush_bench::threads(),
                 },
             )
             .expect("diss+opt3")
@@ -120,7 +123,7 @@ fn main() {
         // Intensional methods are too expensive to repeat: single-shot.
         let t_mc = if max_lin <= mc_cap {
             let timed = measure::run(MeasureSpec::once(), || {
-                mc_answers(&db, &q, 1000, 5).expect("mc")
+                mc_answers_threaded(&db, &q, 1000, 5, lapush_bench::threads()).expect("mc")
             });
             bench.push(Metric::timing(
                 format!("mc1k_p{p1}"),

@@ -78,6 +78,17 @@ pub enum Verdict {
         /// Current scale name.
         current: &'static str,
     },
+    /// Reports were produced at different thread counts (the `threads`
+    /// report parameter; absent means 1). Refused by default — a timing
+    /// comparison across parallelism budgets is meaningless — unless
+    /// [`DiffOptions::allow_thread_mismatch`] is set, which is how the CI
+    /// determinism gate checks that threads=4 checksums equal threads=1.
+    ThreadsMismatch {
+        /// Baseline thread count.
+        baseline: String,
+        /// Current thread count.
+        current: String,
+    },
 }
 
 impl Verdict {
@@ -144,6 +155,11 @@ impl std::fmt::Display for DiffEntry {
             Verdict::ScaleMismatch { baseline, current } => {
                 write!(f, "SCALE      {label}: {current} vs baseline {baseline}")
             }
+            Verdict::ThreadsMismatch { baseline, current } => write!(
+                f,
+                "THREADS    {label}: {current} thread(s) vs baseline {baseline} \
+                 (pass --cross-threads to compare results across thread counts)"
+            ),
         }
     }
 }
@@ -157,6 +173,21 @@ pub struct DiffOptions {
     pub ignore_checksums: bool,
     /// Skip scalar-value comparison.
     pub ignore_values: bool,
+    /// Compare reports produced at different thread counts instead of
+    /// refusing. Checksums and values are still gated exactly — this is
+    /// the determinism check that parallel runs compute identical results.
+    pub allow_thread_mismatch: bool,
+}
+
+/// The `threads` parameter of a report; reports predating the parameter
+/// (or serial runs) count as 1.
+fn threads_param(report: &Report) -> &str {
+    report
+        .params
+        .iter()
+        .find(|(k, _)| k == "threads")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("1")
 }
 
 /// Compare one baseline report against its current counterpart.
@@ -176,6 +207,15 @@ pub fn diff_reports(baseline: &Report, current: &Report, opts: DiffOptions) -> V
             Verdict::ScaleMismatch {
                 baseline: baseline.scale.name(),
                 current: current.scale.name(),
+            },
+        )];
+    }
+    if !opts.allow_thread_mismatch && threads_param(baseline) != threads_param(current) {
+        return vec![DiffEntry::target_level(
+            &baseline.target,
+            Verdict::ThreadsMismatch {
+                baseline: threads_param(baseline).to_string(),
+                current: threads_param(current).to_string(),
             },
         )];
     }
@@ -448,6 +488,47 @@ mod tests {
         cur.scale = Scale::Full;
         let entries = diff_reports(&base, &cur, DiffOptions::default());
         assert!(matches!(entries[0].verdict, Verdict::ScaleMismatch { .. }));
+    }
+
+    #[test]
+    fn thread_count_mismatch_refused_unless_allowed() {
+        let mut base = report_with(vec![Metric::timing("a", vec![10.0]).with_checksum("aaa")]);
+        base.param("threads", 1);
+        let mut cur = report_with(vec![Metric::timing("a", vec![10.0]).with_checksum("aaa")]);
+        cur.param("threads", 4);
+        let entries = diff_reports(&base, &cur, DiffOptions::default());
+        assert!(matches!(
+            entries[0].verdict,
+            Verdict::ThreadsMismatch { .. }
+        ));
+        assert!(has_failures(&entries));
+        // The determinism gate compares across thread counts on purpose —
+        // checksums still gate exactly.
+        let cross = DiffOptions {
+            allow_thread_mismatch: true,
+            ..DiffOptions::default()
+        };
+        assert!(!has_failures(&diff_reports(&base, &cur, cross)));
+        cur.metrics[0] = Metric::timing("a", vec![10.0]).with_checksum("bbb");
+        let entries = diff_reports(&base, &cur, cross);
+        assert!(matches!(
+            entries[0].verdict,
+            Verdict::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn absent_threads_param_counts_as_one() {
+        // Pre-parallelism baselines have no `threads` param; a serial
+        // current run must still compare clean.
+        let base = report_with(vec![Metric::timing("a", vec![10.0])]);
+        let mut cur = base.clone();
+        cur.param("threads", 1);
+        assert!(!has_failures(&diff_reports(
+            &base,
+            &cur,
+            DiffOptions::default()
+        )));
     }
 
     #[test]

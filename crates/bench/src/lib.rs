@@ -76,6 +76,18 @@ pub fn scale() -> Scale {
     }
 }
 
+/// Morsel-parallelism budget selected on the command line (`--threads N`,
+/// default 1 = strictly serial). Every experiment binary records this in
+/// its report metadata, and `bench-diff` refuses to compare reports
+/// produced at different thread counts unless explicitly told to
+/// (`--cross-threads`, the determinism gate).
+pub fn threads() -> usize {
+    arg("threads")
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 /// Where `BENCH_*.json` reports go: `--out DIR`, else `$LAPUSH_BENCH_OUT`,
 /// else the current directory.
 pub fn out_dir() -> PathBuf {
@@ -101,8 +113,13 @@ impl Bench {
     /// directory from the command line.
     pub fn new(target: &str) -> Bench {
         let scale = scale();
+        let mut report = Report::new(target, scale);
+        // Recorded unconditionally so `bench-diff` can refuse comparisons
+        // across thread counts (parallelism must never silently explain a
+        // timing delta).
+        report.param("threads", threads());
         Bench {
-            report: Report::new(target, scale),
+            report,
             spec: MeasureSpec::for_scale(scale),
             out: out_dir(),
         }
@@ -369,11 +386,15 @@ impl Method {
 }
 
 /// Run one strategy, returning the number of answers and the wall time.
+/// Honors the `--threads` flag of the calling experiment binary.
 pub fn run_method(db: &Database, q: &Query, m: Method) -> (usize, Duration) {
+    use lapushdb::engine::deterministic_answers_par;
     use lapushdb::{rank_by_dissociation, OptLevel, RankOptions};
+    let threads = threads();
     let opts = |opt| RankOptions {
         opt,
         use_schema: false,
+        threads,
     };
     let t0 = Instant::now();
     let n = match m {
@@ -389,7 +410,9 @@ pub fn run_method(db: &Database, q: &Query, m: Method) -> (usize, Duration) {
         Method::Opt123 => rank_by_dissociation(db, q, opts(OptLevel::Opt123))
             .expect("eval ok")
             .len(),
-        Method::Sql => deterministic_answers(db, q).expect("eval ok").len(),
+        Method::Sql => deterministic_answers_par(db, q, threads)
+            .expect("eval ok")
+            .len(),
     };
     (n, t0.elapsed())
 }

@@ -2,21 +2,29 @@
 //!
 //! Evaluation is dictionary-encoded end to end: the atom scan encodes base
 //! tuples into vid rows via the database's codec (`Database::codec`), every
-//! operator in [`crate::rel`] runs on those encoded rows, and the final
-//! result is decoded back to [`Value`]s exactly once — here, at the
+//! operator in [`crate::rel`] runs on those encoded rows as **sorted
+//! columnar batches** (see the module docs of [`crate::rel`]), and the
+//! final result is decoded back to [`Value`]s exactly once — here, at the
 //! [`AnswerSet`] boundary. Public signatures and results are identical to
-//! the value-level engine; only the intermediate representation changed.
+//! the hash-map engine; only the intermediate representation changed.
+//!
+//! Evaluation is optionally parallel ([`ExecOptions::threads`]): operators
+//! partition large batches into key-range morsels on scoped threads, and
+//! [`propagation_score_ids`] additionally parallelizes its embarrassingly
+//! parallel outer loop — the minimal-plan roots — after a serial pre-pass
+//! has evaluated every memo-shared subplan once. Results are bit-identical
+//! at every thread count; `threads: 1` (the default) never spawns.
 
 use crate::prepare::{prepare_atoms, PrepareError, PreparedAtom, ScanShape};
 use crate::rel::{
-    join_many, join_many_refs, min_combine_refs, min_into, project_det, project_max, project_prob,
-    Rel,
+    join_many_par, min_combine_par, min_into_par, project_det_par, project_max_par,
+    project_prob_par, Par, Rel, Scratch,
 };
 use lapush_core::{NodeKind, Plan, PlanId, PlanStore};
 use lapush_query::{Atom, Query, Var};
-use lapush_storage::{Database, DbCodec, FxHashMap, RowKey, Value};
+use lapush_storage::{Database, DbCodec, FxHashMap, Value, Vid};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Score semantics for evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,7 +46,7 @@ pub enum Semantics {
 }
 
 /// Evaluation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Score semantics.
     pub semantics: Semantics,
@@ -46,6 +54,21 @@ pub struct ExecOptions {
     /// single plan (sound for plans produced by `lapush_core::single_plan`,
     /// whose equal subquery keys denote equal subplans).
     pub reuse_views: bool,
+    /// Morsel-parallelism budget: maximum worker threads an evaluation may
+    /// use (`std::thread::scope`, no pool). `1` — the default — is fully
+    /// serial and never spawns. Any value produces bit-identical results;
+    /// see [`crate::rel`].
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            semantics: Semantics::default(),
+            reuse_views: false,
+            threads: 1,
+        }
+    }
 }
 
 /// Errors raised during evaluation.
@@ -208,16 +231,20 @@ pub fn eval_plan_id(
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
     let prepared = prepare_atoms(db, q)?;
-    let mut ctx = EvalCtx::new(opts.reuse_views);
+    let mut ctx = EvalCtx::new(opts.reuse_views, Par::new(opts.threads));
     let rel = eval_node(db, &prepared, q, store, root, opts, &mut ctx)?;
     Ok(decode_answers(&rel, q.head(), &db.codec()))
 }
 
 /// Evaluation results are shared, not copied: memo hits (scans, reused
-/// views) hand out another reference to the same relation.
-type RcRel = Rc<Rel>;
+/// views) hand out another reference to the same relation. `Arc`, not
+/// `Rc`: the memo crosses scoped-thread boundaries in the parallel outer
+/// loop of [`propagation_score_ids`].
+type ShRel = Arc<Rel>;
 
-/// Per-evaluation memoization state: one memo keyed by [`PlanId`].
+/// Per-evaluation memoization state: one memo keyed by [`PlanId`], plus
+/// the parallelism budget and the reusable sort scratch shared by every
+/// operator call of this evaluation.
 ///
 /// Scan nodes are always memoized (a scan depends only on the database,
 /// the atom, and the semantics — all fixed for the lifetime of the
@@ -227,15 +254,19 @@ type RcRel = Rc<Rel>;
 /// plans evaluate exactly once. Either way a hit returns the same relation
 /// the recomputation would produce, so results are bit-identical.
 struct EvalCtx {
-    memo: FxHashMap<PlanId, RcRel>,
+    memo: FxHashMap<PlanId, ShRel>,
     memo_all: bool,
+    par: Par,
+    scratch: Scratch,
 }
 
 impl EvalCtx {
-    fn new(memo_all: bool) -> Self {
+    fn new(memo_all: bool, par: Par) -> Self {
         EvalCtx {
             memo: FxHashMap::default(),
             memo_all,
+            par,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -249,13 +280,13 @@ fn decode_answers(rel: &Rel, head: &[Var], codec: &DbCodec<'_>) -> AnswerSet {
         .map(|&v| rel.col_of(v).expect("plan head misses query head var"))
         .collect();
     let mut rows: FxHashMap<Box<[Value]>, f64> =
-        FxHashMap::with_capacity_and_hasher(rel.rows.len(), Default::default());
-    for (k, &s) in &rel.rows {
+        FxHashMap::with_capacity_and_hasher(rel.len(), Default::default());
+    for i in 0..rel.len() {
         let key: Box<[Value]> = perm
             .iter()
-            .map(|&c| codec.decode(k.get(c)).clone())
+            .map(|&c| codec.decode(rel.get(i, c)).clone())
             .collect();
-        rows.insert(key, s);
+        rows.insert(key, rel.score(i));
     }
     AnswerSet {
         vars: head.to_vec(),
@@ -271,26 +302,36 @@ fn eval_node(
     id: PlanId,
     opts: ExecOptions,
     ctx: &mut EvalCtx,
-) -> Result<RcRel, ExecError> {
+) -> Result<ShRel, ExecError> {
     let node = store.node(id);
     let is_scan = matches!(node.kind, NodeKind::Scan { .. });
     let cacheable = is_scan || ctx.memo_all;
     if cacheable {
         if let Some(hit) = ctx.memo.get(&id) {
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
     }
-    let result: RcRel = match &node.kind {
-        NodeKind::Scan { atom } => {
-            Rc::new(scan_atom(db, &prepared[*atom], q, &q.atoms()[*atom], opts))
-        }
+    let result: ShRel = match &node.kind {
+        NodeKind::Scan { atom } => Arc::new(scan_atom(
+            db,
+            &prepared[*atom],
+            q,
+            &q.atoms()[*atom],
+            opts,
+            ctx.par,
+            &mut ctx.scratch,
+        )),
         NodeKind::Project { input } => {
             let child = eval_node(db, prepared, q, store, *input, opts, ctx)?;
             let keep: Vec<Var> = node.head.iter().collect();
-            Rc::new(match opts.semantics {
-                Semantics::Probabilistic => project_prob(&child, &keep),
-                Semantics::LowerBound => project_max(&child, &keep),
-                Semantics::Deterministic => project_det(&child, &keep),
+            Arc::new(match opts.semantics {
+                Semantics::Probabilistic => {
+                    project_prob_par(&child, &keep, ctx.par, &mut ctx.scratch)
+                }
+                Semantics::LowerBound => project_max_par(&child, &keep, ctx.par, &mut ctx.scratch),
+                Semantics::Deterministic => {
+                    project_det_par(&child, &keep, ctx.par, &mut ctx.scratch)
+                }
             })
         }
         NodeKind::Join { inputs } => {
@@ -298,8 +339,8 @@ fn eval_node(
                 .iter()
                 .map(|&c| eval_node(db, prepared, q, store, c, opts, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
-            let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
-            Rc::new(join_many_refs(&refs))
+            let refs: Vec<&Rel> = children.iter().map(Arc::as_ref).collect();
+            Arc::new(join_many_par(&refs, ctx.par, &mut ctx.scratch))
         }
         NodeKind::Min { inputs } => {
             // Min branches are distinct subplans with distinct ids, so the
@@ -310,25 +351,36 @@ fn eval_node(
                 .iter()
                 .map(|&c| eval_node(db, prepared, q, store, c, opts, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
-            let refs: Vec<&Rel> = children.iter().map(Rc::as_ref).collect();
-            Rc::new(min_combine_refs(&refs))
+            let refs: Vec<&Rel> = children.iter().map(Arc::as_ref).collect();
+            Arc::new(min_combine_par(&refs, ctx.par, &mut ctx.scratch))
         }
     };
     if cacheable {
-        ctx.memo.insert(id, Rc::clone(&result));
+        ctx.memo.insert(id, Arc::clone(&result));
     }
     Ok(result)
 }
 
 /// Scan one atom: filter by constants, repeated variables, and selection
-/// predicates; output the atom's distinct variables as encoded rows.
+/// predicates; output the atom's distinct variables as a sorted columnar
+/// batch.
 ///
 /// Constant and repeated-variable filters run on vids (equal values ⇔
 /// equal vids); order/pattern predicates are not id-representable and run
 /// on the stored values before the row enters the encoded pipeline. The
 /// atom was resolved and encoded by [`prepare_atoms`]; no lock is held
-/// here.
-fn scan_atom(db: &Database, prep: &PreparedAtom, q: &Query, atom: &Atom, opts: ExecOptions) -> Rel {
+/// here. The filter pass appends in storage order; the closing
+/// canonicalization (a key-range-partitioned sort when `par` allows)
+/// establishes the operators' sorted invariant.
+fn scan_atom(
+    db: &Database,
+    prep: &PreparedAtom,
+    q: &Query,
+    atom: &Atom,
+    opts: ExecOptions,
+    par: Par,
+    scratch: &mut Scratch,
+) -> Rel {
     let rel = db.relation(prep.rel);
     let shape = ScanShape::of(q, atom);
     // Pre-size the output only for unfiltered scans (there it is exact up
@@ -340,14 +392,18 @@ fn scan_atom(db: &Database, prep: &PreparedAtom, q: &Query, atom: &Atom, opts: E
         0
     };
     let mut out = Rel::with_capacity(shape.out_vars.clone(), cap);
+    let mut row_buf: Vec<Vid> = vec![0; shape.out_cols.len()];
     prep.for_each_surviving_row(rel, &shape, |i, row| {
-        let key = RowKey::from_fn(shape.out_cols.len(), |j| row[shape.out_cols[j]]);
+        for (slot, &c) in row_buf.iter_mut().zip(&shape.out_cols) {
+            *slot = row[c];
+        }
         let score = match opts.semantics {
             Semantics::Probabilistic | Semantics::LowerBound => rel.prob(i),
             Semantics::Deterministic => 1.0,
         };
-        out.insert_max(key, score);
+        out.push_row(&row_buf, score);
     });
+    out.canonicalize(par, scratch);
     out
 }
 
@@ -375,6 +431,14 @@ pub fn propagation_score(
 /// exactly once per call. Results are bit-identical to evaluating each
 /// plan in isolation (a memo hit returns the same relation the
 /// recomputation would), only the repeated work disappears.
+///
+/// With `opts.threads > 1` the plan roots are evaluated in parallel: a
+/// serial pre-pass first evaluates every subplan reachable from two or
+/// more roots (exactly the nodes the shared memo would deduplicate), then
+/// the roots are chunked across scoped threads, each with a read-only view
+/// of the pre-computed memo. Per-root results are folded with
+/// [`min_into_par`] in root order, so the answer is bit-identical to the
+/// serial evaluation.
 pub fn propagation_score_ids(
     db: &Database,
     q: &Query,
@@ -384,37 +448,143 @@ pub fn propagation_score_ids(
 ) -> Result<AnswerSet, ExecError> {
     let (&first_root, rest) = roots.split_first().expect("no plans to evaluate");
     let prepared = prepare_atoms(db, q)?;
-    let mut ctx = EvalCtx::new(true);
-    let first = eval_node(db, &prepared, q, store, first_root, opts, &mut ctx)?;
-    // The memo keeps every node's Rc alive, so the first result can never
-    // be unwrapped in place; clone it only once a second plan actually
-    // needs a mutable accumulator (single-plan sets decode it directly).
-    let mut acc: Option<Rel> = None;
-    for &root in rest {
-        let next = eval_node(db, &prepared, q, store, root, opts, &mut ctx)?;
-        min_into(acc.get_or_insert_with(|| (*first).clone()), &next);
+    let threads = opts.threads.max(1);
+    let par = Par::new(threads);
+    if threads == 1 || rest.is_empty() {
+        let mut ctx = EvalCtx::new(true, par);
+        let first = eval_node(db, &prepared, q, store, first_root, opts, &mut ctx)?;
+        // The memo keeps every node's Arc alive, so the first result can
+        // never be unwrapped in place; clone it only once a second plan
+        // actually needs a mutable accumulator (single-plan sets decode it
+        // directly).
+        let mut acc: Option<Rel> = None;
+        for &root in rest {
+            let next = eval_node(db, &prepared, q, store, root, opts, &mut ctx)?;
+            min_into_par(
+                acc.get_or_insert_with(|| (*first).clone()),
+                &next,
+                ctx.par,
+                &mut ctx.scratch,
+            );
+        }
+        let result = acc.as_ref().unwrap_or_else(|| first.as_ref());
+        return Ok(decode_answers(result, q.head(), &db.codec()));
     }
-    let result = acc.as_ref().unwrap_or_else(|| first.as_ref());
-    Ok(decode_answers(result, q.head(), &db.codec()))
+
+    // Serial pre-pass: evaluate every memo-shared subplan (reachable from
+    // ≥ 2 roots) once, with the full intra-operator parallelism budget.
+    let mut ctx = EvalCtx::new(true, par);
+    for id in shared_subplans(store, roots) {
+        eval_node(db, &prepared, q, store, id, opts, &mut ctx)?;
+    }
+
+    // Parallel outer loop: contiguous root chunks on scoped threads, each
+    // with its own context seeded from the shared memo (Arc clones). Nodes
+    // outside the pre-pass are by construction reachable from exactly one
+    // root, so no work is repeated across threads.
+    let chunk_len = roots.len().div_ceil(threads);
+    let chunks: Vec<&[PlanId]> = roots.chunks(chunk_len).collect();
+    let prepared_ref = &prepared;
+    let memo_ref = &ctx.memo;
+    let evaluated: Vec<Result<Vec<ShRel>, ExecError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || -> Result<Vec<ShRel>, ExecError> {
+                    let mut local = EvalCtx::new(true, Par::serial());
+                    local.memo = memo_ref.clone();
+                    chunk
+                        .iter()
+                        .map(|&root| eval_node(db, prepared_ref, q, store, root, opts, &mut local))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation thread panicked"))
+            .collect()
+    });
+    let mut per_root: Vec<ShRel> = Vec::with_capacity(roots.len());
+    for chunk in evaluated {
+        per_root.extend(chunk?);
+    }
+    // Fold in root order — the same order and the same pointwise min the
+    // serial path applies.
+    let mut acc: Rel = (*per_root[0]).clone();
+    for next in &per_root[1..] {
+        min_into_par(&mut acc, next, par, &mut ctx.scratch);
+    }
+    Ok(decode_answers(&acc, q.head(), &db.codec()))
+}
+
+/// Plan nodes reachable from two or more of `roots`, in ascending id
+/// order (children before parents). These are exactly the nodes whose
+/// results the shared memo of [`propagation_score_ids`] deduplicates; the
+/// parallel path evaluates them serially up front so no two threads race
+/// to compute the same subplan.
+fn shared_subplans(store: &PlanStore, roots: &[PlanId]) -> Vec<PlanId> {
+    let n = store.len();
+    let mut stamp: Vec<u32> = vec![u32::MAX; n];
+    let mut count: Vec<u8> = vec![0; n];
+    let mut shared: Vec<PlanId> = Vec::new();
+    let mut stack: Vec<PlanId> = Vec::new();
+    for (ri, &root) in roots.iter().enumerate() {
+        stack.push(root);
+        while let Some(id) = stack.pop() {
+            let idx = id.index();
+            if stamp[idx] == ri as u32 {
+                continue;
+            }
+            stamp[idx] = ri as u32;
+            count[idx] = count[idx].saturating_add(1);
+            if count[idx] == 2 {
+                shared.push(id);
+            }
+            match &store.node(id).kind {
+                NodeKind::Scan { .. } => {}
+                NodeKind::Project { input } => stack.push(*input),
+                NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                    stack.extend(inputs.iter().copied())
+                }
+            }
+        }
+    }
+    shared.sort_unstable();
+    shared
 }
 
 /// The "standard SQL" baseline: evaluate the query under set semantics with
 /// one flat join followed by a distinct projection — no probabilistic
 /// arithmetic at all.
 pub fn deterministic_answers(db: &Database, q: &Query) -> Result<AnswerSet, ExecError> {
+    deterministic_answers_par(db, q, 1)
+}
+
+/// [`deterministic_answers`] with a morsel-parallelism budget (results are
+/// identical at every thread count).
+pub fn deterministic_answers_par(
+    db: &Database,
+    q: &Query,
+    threads: usize,
+) -> Result<AnswerSet, ExecError> {
     let opts = ExecOptions {
         semantics: Semantics::Deterministic,
         reuse_views: false,
+        threads,
     };
+    let par = Par::new(threads);
+    let mut scratch = Scratch::default();
     let prepared = prepare_atoms(db, q)?;
     let scans: Vec<Rel> = q
         .atoms()
         .iter()
         .zip(&prepared)
-        .map(|(a, prep)| scan_atom(db, prep, q, a, opts))
+        .map(|(a, prep)| scan_atom(db, prep, q, a, opts, par, &mut scratch))
         .collect();
-    let joined = join_many(scans);
-    let projected = project_det(&joined, q.head());
+    let refs: Vec<&Rel> = scans.iter().collect();
+    let joined = join_many_par(&refs, par, &mut scratch);
+    let projected = project_det_par(&joined, q.head(), par, &mut scratch);
     Ok(decode_answers(&projected, q.head(), &db.codec()))
 }
 
@@ -526,12 +696,55 @@ mod tests {
         );
         for reuse in [false, true] {
             let opts = ExecOptions {
-                semantics: Semantics::Probabilistic,
                 reuse_views: reuse,
+                ..ExecOptions::default()
             };
             let got = eval_plan(&db, &q, &sp, opts).unwrap().boolean_score();
             assert!((got - rho).abs() < 1e-12, "reuse={reuse}");
         }
+    }
+
+    #[test]
+    fn parallel_propagation_matches_serial_bitwise() {
+        let db = example17_db();
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let serial = propagation_score(&db, &q, &plans, ExecOptions::default()).unwrap();
+        for threads in [2, 4, 7] {
+            let opts = ExecOptions {
+                threads,
+                ..ExecOptions::default()
+            };
+            let par = propagation_score(&db, &q, &plans, opts).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (k, &v) in &serial.rows {
+                assert_eq!(par.score_of(k).to_bits(), v.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_subplans_cover_scans() {
+        // Two minimal plans of the same query share at least their scans.
+        let db = example17_db();
+        let q = parse_query("q :- R(x), S(x), T(x, y), U(y)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let mut store = PlanStore::new();
+        let roots: Vec<PlanId> = minimal_plans(&s)
+            .iter()
+            .map(|p| store.intern_plan(p))
+            .collect();
+        let shared = shared_subplans(&store, &roots);
+        assert!(!shared.is_empty());
+        let scan_count = shared
+            .iter()
+            .filter(|&&id| matches!(store.node(id).kind, NodeKind::Scan { .. }))
+            .count();
+        assert_eq!(scan_count, q.atoms().len(), "all scans are shared");
+        // Ascending id order (children before parents).
+        assert!(shared.windows(2).all(|w| w[0] < w[1]));
+        let _ = &db;
     }
 
     #[test]
@@ -544,7 +757,7 @@ mod tests {
         let plans = minimal_plans(&s);
         let low_opts = ExecOptions {
             semantics: Semantics::LowerBound,
-            reuse_views: false,
+            ..ExecOptions::default()
         };
         for p in &plans {
             let lo = eval_plan(&db, &q, p, low_opts).unwrap().boolean_score();
@@ -638,5 +851,23 @@ mod tests {
         assert!(ans.is_empty());
         let det = deterministic_answers(&db, &q).unwrap();
         assert!(det.is_empty());
+    }
+
+    #[test]
+    fn parallel_errors_propagate() {
+        // A missing relation must surface as an error from the threaded
+        // path too, not a panic.
+        let db = Database::new();
+        let q = parse_query("q :- Z(x)").unwrap();
+        let s = QueryShape::of_query(&q);
+        let plans = minimal_plans(&s);
+        let opts = ExecOptions {
+            threads: 4,
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            propagation_score(&db, &q, &plans, opts),
+            Err(ExecError::UnknownRelation(_))
+        ));
     }
 }

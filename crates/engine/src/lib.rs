@@ -18,7 +18,7 @@
 //!   evaluation.
 //! * deterministic (set) semantics for the "standard SQL" baseline.
 //!
-//! ## Dictionary-encoded execution
+//! ## Dictionary-encoded, columnar sort-merge execution
 //!
 //! The executor never manipulates `Value`s on its hot paths. Each
 //! evaluation first encodes the query's base relations through the
@@ -27,10 +27,25 @@
 //! `u32` vid, and encoded base columns are cached on the database, so
 //! repeated evaluations pay nothing and concurrent evaluations only
 //! serialize on the brief encode/decode sections. From there on every
-//! intermediate [`Rel`] keys its rows by `lapush_storage::RowKey` — a
-//! short vid sequence stored inline for arity ≤ 3 — and all operators
-//! (hash joins, the three projections, `min`, semi-join membership)
-//! compare and hash integers only.
+//! intermediate [`Rel`] is a **sorted columnar batch** — one dense vid
+//! vector per variable plus a score column, rows kept in canonical
+//! lexicographic order — and all operators are sort/merge algorithms:
+//! merge joins on shared-variable keys, grouped-scan projections over
+//! runs of equal group keys, pointwise sorted merges for `min`, and
+//! merge-based semi-join membership. Sort keys pack up to four vid
+//! columns into one integer, so nothing on these paths hashes or
+//! allocates per row (see [`rel`] for the full contract).
+//!
+//! ## Morsel parallelism
+//!
+//! Execution is optionally parallel ([`exec::ExecOptions::threads`],
+//! default 1 = strictly serial): operators partition large batches into
+//! key-range morsels on scoped threads, and [`propagation_score`]'s outer
+//! loop over minimal-plan roots runs in parallel after a serial pre-pass
+//! has evaluated every memo-shared subplan once. Results are
+//! **bit-identical at every thread count** — morsels never split a group
+//! and are concatenated in key order, so the parallel evaluation computes
+//! literally the same floats as the serial one.
 //!
 //! **Decode-at-the-boundary invariant:** vids become `Value`s exactly once
 //! per evaluation, when the final encoded relation is turned into the
@@ -77,8 +92,8 @@ pub mod rel;
 pub mod semijoin;
 
 pub use exec::{
-    deterministic_answers, eval_plan, eval_plan_id, propagation_score, propagation_score_ids,
-    AnswerSet, ExecError, ExecOptions, Semantics,
+    deterministic_answers, deterministic_answers_par, eval_plan, eval_plan_id, propagation_score,
+    propagation_score_ids, AnswerSet, ExecError, ExecOptions, Semantics,
 };
-pub use rel::Rel;
+pub use rel::{Par, Rel, Scratch};
 pub use semijoin::reduce_database;

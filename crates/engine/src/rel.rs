@@ -1,53 +1,161 @@
 //! Intermediate relations and the physical operators.
 //!
-//! All operators here run on dictionary-encoded rows: a [`Rel`] holds
-//! [`RowKey`]s of dense `u32` vids (see `lapush_storage::intern`), not
-//! `Value`s. Join keys, group keys and duplicate detection therefore hash
-//! and compare plain integers; nothing on these paths allocates per value
-//! or touches an `Arc`. Scans encode (in `exec`), the answer-set boundary
-//! decodes — everything in between stays in id space.
+//! # Columnar sort-merge execution
+//!
+//! A [`Rel`] is a **sorted columnar batch**: one dense `Vec<Vid>` per
+//! variable (struct-of-arrays) plus one score column, with rows kept in
+//! *canonical order* — sorted lexicographically by the columns in `vars`
+//! order, duplicates eliminated. Every operator both consumes and restores
+//! that invariant, so the physical algebra is pure sort/merge:
+//!
+//! * **joins** merge the two inputs on their shared-variable key (inputs
+//!   whose key is a column prefix are consumed in place; otherwise a
+//!   row-index permutation is key-sorted first),
+//! * **projections** are grouped scans over key-sorted runs — independent-OR
+//!   / max / dedup fold over each run of equal group keys, no hash upserts,
+//! * **`min`** is a pointwise merge of two sorted batches, in place on the
+//!   accumulator when the key sets coincide (they do for plans of one
+//!   query),
+//! * duplicate elimination everywhere is "sort, then combine adjacent".
+//!
+//! Nothing on these paths hashes or allocates per row: sort keys pack up to
+//! four vid columns into one `u128` (wider rows recurse on the remaining
+//! columns), so sorting and merging compare plain integers.
+//!
+//! # Morsel parallelism
+//!
+//! Every operator has a `*_par` form taking a [`Par`]: large batches are
+//! partitioned into contiguous morsels — by position for sorts and scans,
+//! by key range (never splitting a group or join block) for merges and
+//! folds — and the morsels run on scoped threads (`std::thread::scope`;
+//! zero dependencies). Results are **bit-identical at every thread
+//! count**: morsel outputs are concatenated in partition order, a group's
+//! fold never straddles a morsel, and the sorted order is a total order
+//! (ties broken by row index), so the parallel plan computes literally the
+//! same floats as the serial one.
+//!
+//! Determinism note: because rows are visited in canonical sorted order,
+//! group folds accumulate in a *defined* order — unlike the previous
+//! hash-map representation, where float accumulation followed hash
+//! iteration order.
 
 use lapush_query::Var;
-use lapush_storage::{FxHashMap, RowKey};
+use lapush_storage::{RowKey, Vid};
 
-/// An intermediate result: a bag of distinct variable bindings with scores.
+/// Operator-level parallelism budget.
 ///
-/// `vars` fixes the column order; `rows` maps an encoded binding (vids
-/// aligned with `vars`) to its score.
-#[derive(Debug, Clone, PartialEq)]
+/// `threads == 1` (the default) is fully serial. Operators only engage
+/// threads for batches of at least [`MIN_PAR_ROWS`] rows, so small
+/// intermediates never pay spawn overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Par {
+    /// Maximum scoped threads an operator may use (≥ 1).
+    pub threads: usize,
+}
+
+impl Par {
+    /// Serial execution.
+    pub fn serial() -> Par {
+        Par { threads: 1 }
+    }
+
+    /// Clamp a requested thread count to at least 1.
+    pub fn new(threads: usize) -> Par {
+        Par {
+            threads: threads.max(1),
+        }
+    }
+
+    /// How many morsels to cut `n` rows into (1 = stay serial).
+    fn morsels(self, n: usize) -> usize {
+        if self.threads <= 1 || n < MIN_PAR_ROWS {
+            1
+        } else {
+            self.threads.min(n / (MIN_PAR_ROWS / 2)).max(1)
+        }
+    }
+}
+
+impl Default for Par {
+    fn default() -> Self {
+        Par::serial()
+    }
+}
+
+/// Batches below this many rows run serially even when threads are
+/// available: scoped-thread spawn costs tens of microseconds, which only
+/// amortizes over reasonably large morsels.
+pub const MIN_PAR_ROWS: usize = 8192;
+
+/// Reusable sort scratch: the packed-key buffers behind every key sort.
+///
+/// One `Scratch` lives in the evaluator's context and is threaded through
+/// all operator calls of an evaluation, so projections and joins reuse the
+/// same allocations instead of growing a fresh key vector per operator.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Packed `(key, row)` pairs for the primary input of an operator.
+    keys: Vec<(u128, u32)>,
+    /// Same, for the secondary (right/next) input.
+    rkeys: Vec<(u128, u32)>,
+}
+
+/// An intermediate result: a bag of distinct variable bindings with scores,
+/// stored columnar and in canonical (lexicographic) row order.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Rel {
     /// Column variables, in order.
     pub vars: Vec<Var>,
-    /// Distinct encoded bindings with scores.
-    pub rows: FxHashMap<RowKey, f64>,
+    /// One vid column per variable; all the same length.
+    cols: Vec<Vec<Vid>>,
+    /// Score of each row.
+    scores: Vec<f64>,
 }
 
 impl Rel {
     /// Empty relation with the given columns.
     pub fn empty(vars: Vec<Var>) -> Self {
+        let cols = vec![Vec::new(); vars.len()];
         Rel {
             vars,
-            rows: FxHashMap::default(),
+            cols,
+            scores: Vec::new(),
         }
     }
 
     /// Empty relation with room for `cap` rows (scans know their input
-    /// size; avoids rehash-and-move during the fill).
+    /// size; avoids grow-and-move during the fill).
     pub fn with_capacity(vars: Vec<Var>, cap: usize) -> Self {
+        let cols = vec![Vec::with_capacity(cap); vars.len()];
         Rel {
             vars,
-            rows: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            cols,
+            scores: Vec::with_capacity(cap),
         }
+    }
+
+    /// Build from unsorted columns: sorts into canonical order and combines
+    /// duplicate rows with `max` (set semantics keeps the strongest
+    /// derivation).
+    pub fn from_unsorted_columns(vars: Vec<Var>, cols: Vec<Vec<Vid>>, scores: Vec<f64>) -> Self {
+        let mut rel = Rel { vars, cols, scores };
+        rel.canonicalize(Par::serial(), &mut Scratch::default());
+        rel
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.scores.len()
     }
 
     /// True if no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.scores.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
     }
 
     /// Column position of a variable.
@@ -55,21 +163,333 @@ impl Rel {
         self.vars.iter().position(|&u| u == v)
     }
 
-    /// Insert a row, combining duplicates with `max` (set semantics keeps
-    /// the strongest derivation; duplicates only arise from re-inserted
-    /// identical bindings).
-    pub fn insert_max(&mut self, key: RowKey, score: f64) {
-        self.rows
-            .entry(key)
-            .and_modify(|s| *s = s.max(score))
-            .or_insert(score);
+    /// One vid column.
+    pub fn col(&self, c: usize) -> &[Vid] {
+        &self.cols[c]
+    }
+
+    /// All score cells, in row order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Vid at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Vid {
+        self.cols[col][row]
+    }
+
+    /// Score of one row.
+    pub fn score(&self, row: usize) -> f64 {
+        self.scores[row]
+    }
+
+    /// One row materialized as a [`RowKey`] (boundary/test helper; the
+    /// operators themselves never build row keys).
+    pub fn row_key(&self, row: usize) -> RowKey {
+        RowKey::from_fn(self.arity(), |c| self.cols[c][row])
+    }
+
+    /// Append one row (breaks canonical order; call
+    /// [`Rel::canonicalize`] before handing the relation to an operator).
+    pub fn push_row(&mut self, row: &[Vid], score: f64) {
+        debug_assert_eq!(row.len(), self.arity());
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.scores.push(score);
+    }
+
+    /// Score of the row with exactly these vids, via binary search over the
+    /// canonical order (`None` if absent).
+    pub fn score_of_row(&self, row: &[Vid]) -> Option<f64> {
+        debug_assert_eq!(row.len(), self.arity());
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.cmp_row_to(mid, row) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(self.scores[mid]),
+            }
+        }
+        None
+    }
+
+    fn cmp_row_to(&self, row: usize, want: &[Vid]) -> std::cmp::Ordering {
+        for (col, &w) in self.cols.iter().zip(want) {
+            match col[row].cmp(&w) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Restore the canonical invariant: sort rows lexicographically by all
+    /// columns and combine duplicates with `max`.
+    pub fn canonicalize(&mut self, par: Par, scratch: &mut Scratch) {
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let cols: Vec<&[Vid]> = self.cols.iter().map(Vec::as_slice).collect();
+        sort_rows(&cols, n, false, par, &mut scratch.keys);
+        // Keep the first row of every distinct run; fold duplicate scores
+        // with max (order-independent, so dedup order cannot matter).
+        let keys = &scratch.keys;
+        let mut keep: Vec<u32> = Vec::with_capacity(n);
+        let mut scores: Vec<f64> = Vec::with_capacity(n);
+        for pos in 0..n {
+            let row = keys[pos].1;
+            if pos > 0 && keys_eq(&cols, keys, pos - 1, pos) {
+                let last = scores.last_mut().expect("run has a first row");
+                *last = last.max(self.scores[row as usize]);
+            } else {
+                keep.push(row);
+                scores.push(self.scores[row as usize]);
+            }
+        }
+        let identity = keep.len() == n && keep.iter().enumerate().all(|(i, &r)| r as usize == i);
+        if !identity {
+            for col in &mut self.cols {
+                let new_col: Vec<Vid> = keep.iter().map(|&r| col[r as usize]).collect();
+                *col = new_col;
+            }
+        }
+        self.scores = scores;
+    }
+
+    /// Debug check of the canonical invariant (sorted, distinct).
+    #[cfg(debug_assertions)]
+    fn assert_canonical(&self) {
+        let cols: Vec<&[Vid]> = self.cols.iter().map(Vec::as_slice).collect();
+        for i in 1..self.len() {
+            let ord = cols
+                .iter()
+                .map(|c| c[i - 1].cmp(&c[i]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal);
+            debug_assert_eq!(ord, std::cmp::Ordering::Less, "rows out of order at {i}");
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn assert_canonical(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Sorted row orders: packed integer keys
+// ---------------------------------------------------------------------------
+
+/// Pack up to four key columns starting at `depth` into one `u128`
+/// (shared encoding: [`lapush_storage::pack_vids`]). All rows pack the
+/// same columns, so packed keys compare exactly like the column tuple.
+#[inline]
+fn pack4(cols: &[&[Vid]], row: u32, depth: usize) -> u128 {
+    let slice = &cols[depth..(depth + 4).min(cols.len())];
+    lapush_storage::pack_vids(slice.iter().map(|col| col[row as usize]))
+}
+
+/// Fill `keys` with `(packed key, row)` pairs for rows `0..n`, sorted by
+/// the key columns and then by row index (a total order, so the resulting
+/// permutation is unique and thread-count-independent). With `presorted`
+/// the rows are known to already be in key order and only the packing
+/// happens. Keys wider than four columns are resolved by recursion on the
+/// equal-prefix runs.
+fn sort_rows(cols: &[&[Vid]], n: usize, presorted: bool, par: Par, keys: &mut Vec<(u128, u32)>) {
+    keys.clear();
+    keys.reserve(n);
+    let morsels = par.morsels(n);
+    if morsels <= 1 {
+        for i in 0..n as u32 {
+            keys.push((pack4(cols, i, 0), i));
+        }
+    } else {
+        keys.resize(n, (0, 0));
+        let mut rest: &mut [(u128, u32)] = keys;
+        let mut start = 0usize;
+        std::thread::scope(|s| {
+            for (lo, hi) in chunk_ranges(n, morsels) {
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                debug_assert_eq!(lo, start);
+                start = hi;
+                s.spawn(move || {
+                    for (slot, i) in chunk.iter_mut().zip(lo as u32..hi as u32) {
+                        *slot = (pack4(cols, i, 0), i);
+                    }
+                });
+            }
+        });
+    }
+    if presorted {
+        return;
+    }
+    par_sort(keys, par);
+    if cols.len() > 4 {
+        resolve_ties(cols, keys, 4);
     }
 }
+
+/// Sort the equal-packed-prefix runs of `keys` by the columns from `depth`
+/// on (recursing in groups of four), finally by row index.
+fn resolve_ties(cols: &[&[Vid]], keys: &mut [(u128, u32)], depth: usize) {
+    let mut start = 0;
+    while start < keys.len() {
+        let mut end = start + 1;
+        while end < keys.len() && keys[end].0 == keys[start].0 {
+            end += 1;
+        }
+        if end - start > 1 {
+            let run = &mut keys[start..end];
+            let mut rows: Vec<u32> = run.iter().map(|&(_, r)| r).collect();
+            sort_run(cols, &mut rows, depth);
+            for (slot, r) in run.iter_mut().zip(rows) {
+                slot.1 = r;
+            }
+        }
+        start = end;
+    }
+}
+
+fn sort_run(cols: &[&[Vid]], rows: &mut [u32], depth: usize) {
+    let mut sub: Vec<(u128, u32)> = rows.iter().map(|&r| (pack4(cols, r, depth), r)).collect();
+    sub.sort_unstable();
+    if depth + 4 < cols.len() {
+        resolve_ties(cols, &mut sub, depth + 4);
+    }
+    for (slot, &(_, r)) in rows.iter_mut().zip(&sub) {
+        *slot = r;
+    }
+}
+
+/// Are the rows at sorted positions `a` and `b` equal on every key column?
+/// The packed prefix decides for keys of up to four columns; wider keys
+/// fall back to comparing the remaining columns directly.
+#[inline]
+fn keys_eq(cols: &[&[Vid]], keys: &[(u128, u32)], a: usize, b: usize) -> bool {
+    if keys[a].0 != keys[b].0 {
+        return false;
+    }
+    let (ra, rb) = (keys[a].1 as usize, keys[b].1 as usize);
+    cols.len() <= 4 || cols[4..].iter().all(|c| c[ra] == c[rb])
+}
+
+/// Near-equal contiguous `(start, end)` ranges covering `0..n`.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Parallel unstable sort: sort contiguous chunks on scoped threads, then
+/// merge run pairs (also on scoped threads) until one run remains. The
+/// element order is total for our `(key, row)` pairs, so the result is the
+/// unique sorted sequence — identical at every thread count.
+fn par_sort<T: Copy + Ord + Send + Sync>(v: &mut Vec<T>, par: Par) {
+    let n = v.len();
+    let morsels = par.morsels(n);
+    if morsels <= 1 {
+        v.sort_unstable();
+        return;
+    }
+    let mut runs = chunk_ranges(n, morsels);
+    {
+        let mut rest: &mut [T] = v;
+        std::thread::scope(|s| {
+            for &(lo, hi) in &runs {
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                s.spawn(move || chunk.sort_unstable());
+            }
+        });
+    }
+    let mut buf: Vec<T> = v.clone();
+    let mut src_is_v = true;
+    while runs.len() > 1 {
+        let (src, dst): (&[T], &mut Vec<T>) = if src_is_v {
+            (v.as_slice(), &mut buf)
+        } else {
+            (buf.as_slice(), v)
+        };
+        let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut rest: &mut [T] = dst;
+        std::thread::scope(|s| {
+            let mut i = 0;
+            while i < runs.len() {
+                if i + 1 < runs.len() {
+                    let (a0, a1) = runs[i];
+                    let (b0, b1) = runs[i + 1];
+                    debug_assert_eq!(a1, b0);
+                    let (out, tail) = rest.split_at_mut(b1 - a0);
+                    rest = tail;
+                    let (left, right) = (&src[a0..a1], &src[b0..b1]);
+                    s.spawn(move || merge_into(left, right, out));
+                    next_runs.push((a0, b1));
+                    i += 2;
+                } else {
+                    let (a0, a1) = runs[i];
+                    let (out, tail) = rest.split_at_mut(a1 - a0);
+                    rest = tail;
+                    out.copy_from_slice(&src[a0..a1]);
+                    next_runs.push((a0, a1));
+                    i += 1;
+                }
+            }
+        });
+        runs = next_runs;
+        src_is_v = !src_is_v;
+    }
+    if !src_is_v {
+        v.copy_from_slice(&buf);
+    }
+}
+
+/// Merge two sorted runs into `out` (`out.len() == a.len() + b.len()`).
+fn merge_into<T: Copy + Ord>(a: &[T], b: &[T], out: &mut [T]) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = i < a.len() && (j >= b.len() || a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
 
 /// Natural join of two intermediate relations; scores multiply
 /// (independent-AND). Joins on all shared variables; preserves left column
 /// order, then right-only columns.
 pub fn join(left: &Rel, right: &Rel) -> Rel {
+    join_par(left, right, Par::serial(), &mut Scratch::default())
+}
+
+/// [`join`] with a parallelism budget and reusable scratch: a sort-merge
+/// join. Each input is brought into join-key order (free when the key is a
+/// column prefix — the canonical sort then already is key order), matching
+/// key blocks are enumerated by a linear merge, and the cross product of
+/// each block pair is emitted. Large outputs are partitioned by key range
+/// (whole blocks, never splitting one) across scoped threads writing
+/// disjoint output ranges.
+pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel {
+    left.assert_canonical();
+    right.assert_canonical();
     // Determine shared and right-only columns.
     let shared: Vec<(usize, usize)> = left
         .vars
@@ -80,33 +500,177 @@ pub fn join(left: &Rel, right: &Rel) -> Rel {
     let right_only: Vec<usize> = (0..right.vars.len())
         .filter(|&ri| !shared.iter().any(|&(_, r)| r == ri))
         .collect();
-
     let mut out_vars = left.vars.clone();
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
-    let mut out = Rel::empty(out_vars);
 
-    // Index the right input by its join-key vids.
-    type Bucket<'a> = Vec<(&'a RowKey, f64)>;
-    let mut index: FxHashMap<RowKey, Bucket<'_>> = FxHashMap::default();
-    for (rkey, &rscore) in &right.rows {
-        let jk = RowKey::from_fn(shared.len(), |i| rkey.get(shared[i].1));
-        index.entry(jk).or_default().push((rkey, rscore));
+    let lkey_cols: Vec<&[Vid]> = shared.iter().map(|&(li, _)| left.col(li)).collect();
+    let rkey_cols: Vec<&[Vid]> = shared.iter().map(|&(_, ri)| right.col(ri)).collect();
+    let l_presorted = shared.iter().enumerate().all(|(i, &(li, _))| li == i);
+    let r_presorted = shared.iter().enumerate().all(|(i, &(_, ri))| ri == i);
+    sort_rows(&lkey_cols, left.len(), l_presorted, par, &mut scratch.keys);
+    sort_rows(
+        &rkey_cols,
+        right.len(),
+        r_presorted,
+        par,
+        &mut scratch.rkeys,
+    );
+    let (lkeys, rkeys) = (&scratch.keys, &scratch.rkeys);
+
+    // Enumerate matching key blocks and their output offsets.
+    struct Block {
+        l0: usize,
+        l1: usize,
+        r0: usize,
+        r1: usize,
+        out: usize,
     }
-
-    for (lkey, &lscore) in &left.rows {
-        let jk = RowKey::from_fn(shared.len(), |i| lkey.get(shared[i].0));
-        let Some(matches) = index.get(&jk) else {
-            continue;
-        };
-        for (rkey, rscore) in matches {
-            let row: RowKey = lkey
-                .iter()
-                .chain(right_only.iter().map(|&ri| rkey.get(ri)))
-                .collect();
-            out.insert_max(row, lscore * rscore);
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut m = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        let cmp = block_cmp(&lkey_cols, lkeys, i, &rkey_cols, rkeys, j);
+        match cmp {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut i1 = i + 1;
+                while i1 < lkeys.len() && keys_eq(&lkey_cols, lkeys, i, i1) {
+                    i1 += 1;
+                }
+                let mut j1 = j + 1;
+                while j1 < rkeys.len() && keys_eq(&rkey_cols, rkeys, j, j1) {
+                    j1 += 1;
+                }
+                blocks.push(Block {
+                    l0: i,
+                    l1: i1,
+                    r0: j,
+                    r1: j1,
+                    out: m,
+                });
+                m += (i1 - i) * (j1 - j);
+                i = i1;
+                j = j1;
+            }
         }
     }
+
+    // Materialize the output columns; morsels are contiguous block ranges.
+    let w_left = left.arity();
+    let mut out_cols: Vec<Vec<Vid>> = vec![vec![0; m]; out_vars.len()];
+    let mut out_scores: Vec<f64> = vec![0.0; m];
+    let fill = |blocks: &[Block], cols: &mut [&mut [Vid]], scores: &mut [f64], base: usize| {
+        for b in blocks {
+            let mut at = b.out - base;
+            for &(_, lrow) in &lkeys[b.l0..b.l1] {
+                let lrow = lrow as usize;
+                let ls = left.score(lrow);
+                for &(_, rrow) in &rkeys[b.r0..b.r1] {
+                    let rrow = rrow as usize;
+                    for (c, col) in cols.iter_mut().enumerate() {
+                        col[at] = if c < w_left {
+                            left.get(lrow, c)
+                        } else {
+                            right.get(rrow, right_only[c - w_left])
+                        };
+                    }
+                    scores[at] = ls * right.score(rrow);
+                    at += 1;
+                }
+            }
+        }
+    };
+    let morsels = par.morsels(m).min(blocks.len().max(1));
+    if morsels <= 1 {
+        let mut col_slices: Vec<&mut [Vid]> =
+            out_cols.iter_mut().map(|c| c.as_mut_slice()).collect();
+        fill(&blocks, &mut col_slices, &mut out_scores, 0);
+    } else {
+        // Cut the block list so each morsel owns a near-equal share of the
+        // output rows; blocks stay whole, so writes are disjoint ranges.
+        let mut cuts: Vec<usize> = vec![0]; // indices into `blocks`
+        let per = m.div_ceil(morsels);
+        let mut next_target = per;
+        for (bi, b) in blocks.iter().enumerate().skip(1) {
+            if b.out >= next_target {
+                cuts.push(bi);
+                next_target = b.out + per;
+            }
+        }
+        cuts.push(blocks.len());
+        let mut col_rests: Vec<&mut [Vid]> =
+            out_cols.iter_mut().map(|c| c.as_mut_slice()).collect();
+        let mut score_rest: &mut [f64] = &mut out_scores;
+        std::thread::scope(|s| {
+            for w in cuts.windows(2) {
+                let (b0, b1) = (w[0], w[1]);
+                if b0 == b1 {
+                    continue;
+                }
+                let base = blocks[b0].out;
+                let end = blocks.get(b1).map_or(m, |b| b.out);
+                let take = end - base;
+                let mut outs: Vec<&mut [Vid]> = Vec::with_capacity(col_rests.len());
+                col_rests = col_rests
+                    .into_iter()
+                    .map(|r| {
+                        let (a, b) = r.split_at_mut(take);
+                        outs.push(a);
+                        b
+                    })
+                    .collect();
+                let (sc, tail) = score_rest.split_at_mut(take);
+                score_rest = tail;
+                let chunk = &blocks[b0..b1];
+                let fill = &fill;
+                s.spawn(move || {
+                    let mut outs = outs;
+                    fill(chunk, &mut outs, sc, base);
+                });
+            }
+        });
+    }
+
+    let mut out = Rel {
+        vars: out_vars,
+        cols: out_cols,
+        scores: out_scores,
+    };
+    // Join rows are distinct (the key plus both rests determine the pair),
+    // but the emission order is (join key, left, right) — restore the
+    // canonical lexicographic order.
+    out.canonicalize(par, scratch);
     out
+}
+
+/// Compare the key at sorted position `i` of the left order with the key at
+/// `j` of the right order. Packed prefixes decide up to four columns; wider
+/// keys compare the remaining columns directly.
+#[inline]
+fn block_cmp(
+    lcols: &[&[Vid]],
+    lkeys: &[(u128, u32)],
+    i: usize,
+    rcols: &[&[Vid]],
+    rkeys: &[(u128, u32)],
+    j: usize,
+) -> std::cmp::Ordering {
+    match lkeys[i].0.cmp(&rkeys[j].0) {
+        std::cmp::Ordering::Equal => {}
+        other => return other,
+    }
+    if lcols.len() <= 4 {
+        return std::cmp::Ordering::Equal;
+    }
+    let (lr, rr) = (lkeys[i].1 as usize, rkeys[j].1 as usize);
+    for (lc, rc) in lcols[4..].iter().zip(&rcols[4..]) {
+        match lc[lr].cmp(&rc[rr]) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 /// Join many relations. Children are folded left-to-right after a greedy
@@ -127,6 +691,11 @@ pub fn join_many(mut inputs: Vec<Rel>) -> Rel {
 /// [`join_many`] over borrowed inputs (the evaluator shares children
 /// through its memo caches and must not clone them to join).
 pub fn join_many_refs(inputs: &[&Rel]) -> Rel {
+    join_many_par(inputs, Par::serial(), &mut Scratch::default())
+}
+
+/// [`join_many_refs`] with a parallelism budget and reusable scratch.
+pub fn join_many_par(inputs: &[&Rel], par: Par, scratch: &mut Scratch) -> Rel {
     assert!(!inputs.is_empty(), "join of zero inputs");
     if inputs.len() == 1 {
         return inputs[0].clone();
@@ -141,10 +710,10 @@ pub fn join_many_refs(inputs: &[&Rel]) -> Rel {
         .expect("non-empty");
     let first = remaining.swap_remove(start);
     let second = remaining.swap_remove(pick_next(&remaining, first));
-    let mut acc = join(first, second);
+    let mut acc = join_par(first, second, par, scratch);
     while !remaining.is_empty() {
         let rel = remaining.swap_remove(pick_next(&remaining, &acc));
-        acc = join(&acc, rel);
+        acc = join_par(&acc, rel, par, scratch);
     }
     acc
 }
@@ -164,82 +733,277 @@ fn pick_next(remaining: &[&Rel], acc: &Rel) -> usize {
         .expect("non-empty")
 }
 
-/// Group key of `input`'s row `key` under the projection columns `cols`.
-fn group_key(key: &RowKey, cols: &[usize]) -> RowKey {
-    RowKey::from_fn(cols.len(), |i| key.get(cols[i]))
+// ---------------------------------------------------------------------------
+// Projections: grouped scans over key-sorted runs
+// ---------------------------------------------------------------------------
+
+/// How a projection folds the scores of one group.
+#[derive(Clone, Copy)]
+enum ProjFold {
+    /// Independent-OR: accumulate `∏(1 − pᵢ)`, emit `1 − ∏`.
+    IndependentOr,
+    /// Maximum score in the group.
+    Max,
+    /// Constant 1 (deterministic `SELECT DISTINCT`).
+    One,
+}
+
+fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &mut Scratch) -> Rel {
+    input.assert_canonical();
+    let cols_idx: Vec<usize> = keep
+        .iter()
+        .map(|&v| input.col_of(v).expect("projection var missing"))
+        .collect();
+    let key_cols: Vec<&[Vid]> = cols_idx.iter().map(|&c| input.col(c)).collect();
+    // When the group columns are a prefix of the canonical order the input
+    // is already grouped — the "sort" is a plain packing pass.
+    let presorted = cols_idx.iter().enumerate().all(|(i, &c)| c == i);
+    let n = input.len();
+    sort_rows(&key_cols, n, presorted, par, &mut scratch.keys);
+    let keys = &scratch.keys;
+
+    // Find group run boundaries; morsels take whole runs.
+    let run_fold =
+        |lo: usize, hi: usize, out_cols: &mut Vec<Vec<Vid>>, out_scores: &mut Vec<f64>| {
+            let mut pos = lo;
+            while pos < hi {
+                let mut end = pos + 1;
+                while end < hi && keys_eq(&key_cols, keys, pos, end) {
+                    end += 1;
+                }
+                let score = match fold {
+                    ProjFold::IndependentOr => {
+                        // Accumulate in sorted-run order: a defined, total
+                        // order, so the float product is reproducible.
+                        let mut not_any = 1.0;
+                        for &(_, row) in &keys[pos..end] {
+                            not_any *= 1.0 - input.score(row as usize);
+                        }
+                        1.0 - not_any
+                    }
+                    ProjFold::Max => {
+                        let mut best = f64::NEG_INFINITY;
+                        for &(_, row) in &keys[pos..end] {
+                            best = best.max(input.score(row as usize));
+                        }
+                        best
+                    }
+                    ProjFold::One => 1.0,
+                };
+                let row = keys[pos].1 as usize;
+                for (out, &kc) in out_cols.iter_mut().zip(&key_cols) {
+                    out.push(kc[row]);
+                }
+                out_scores.push(score);
+                pos = end;
+            }
+        };
+
+    let morsels = par.morsels(n);
+    let (out_cols, out_scores) = if morsels <= 1 {
+        let mut out_cols: Vec<Vec<Vid>> = vec![Vec::new(); keep.len()];
+        let mut out_scores: Vec<f64> = Vec::new();
+        run_fold(0, n, &mut out_cols, &mut out_scores);
+        (out_cols, out_scores)
+    } else {
+        // Advance each cut to the next group boundary so no run straddles
+        // two morsels (the fold order inside a group is then identical to
+        // the serial pass).
+        let mut bounds: Vec<usize> = Vec::with_capacity(morsels + 1);
+        bounds.push(0);
+        for (_, cut) in chunk_ranges(n, morsels).into_iter().take(morsels - 1) {
+            let mut b = cut;
+            while b < n && b > 0 && keys_eq(&key_cols, keys, b - 1, b) {
+                b += 1;
+            }
+            if b > *bounds.last().expect("non-empty") && b < n {
+                bounds.push(b);
+            }
+        }
+        bounds.push(n);
+        let mut parts: Vec<(Vec<Vec<Vid>>, Vec<f64>)> = bounds
+            .windows(2)
+            .map(|_| (vec![Vec::new(); keep.len()], Vec::new()))
+            .collect();
+        std::thread::scope(|s| {
+            for (w, part) in bounds.windows(2).zip(parts.iter_mut()) {
+                let (lo, hi) = (w[0], w[1]);
+                let run_fold = &run_fold;
+                s.spawn(move || run_fold(lo, hi, &mut part.0, &mut part.1));
+            }
+        });
+        // Concatenate morsel outputs in key order.
+        let mut out_cols: Vec<Vec<Vid>> = vec![Vec::new(); keep.len()];
+        let mut out_scores: Vec<f64> = Vec::new();
+        for (cols, scores) in parts {
+            for (out, col) in out_cols.iter_mut().zip(cols) {
+                out.extend(col);
+            }
+            out_scores.extend(scores);
+        }
+        (out_cols, out_scores)
+    };
+
+    let out = Rel {
+        vars: keep.to_vec(),
+        cols: out_cols,
+        scores: out_scores,
+    };
+    // Groups were emitted in group-key order, which *is* the canonical
+    // order of the output columns; groups are distinct by construction.
+    out.assert_canonical();
+    out
 }
 
 /// Probabilistic projection with duplicate elimination: group by `keep`
 /// columns, combine group members with independent-OR
 /// (`1 − ∏(1 − pᵢ)`).
 pub fn project_prob(input: &Rel, keep: &[Var]) -> Rel {
-    let cols: Vec<usize> = keep
-        .iter()
-        .map(|&v| input.col_of(v).expect("projection var missing"))
-        .collect();
-    let mut out = Rel::empty(keep.to_vec());
-    // Accumulate ∏(1 − pᵢ) per group, then flip in place.
-    for (key, &score) in &input.rows {
-        *out.rows.entry(group_key(key, &cols)).or_insert(1.0) *= 1.0 - score;
-    }
-    for na in out.rows.values_mut() {
-        *na = 1.0 - *na;
-    }
-    out
+    project_prob_par(input, keep, Par::serial(), &mut Scratch::default())
+}
+
+/// [`project_prob`] with a parallelism budget and reusable scratch.
+pub fn project_prob_par(input: &Rel, keep: &[Var], par: Par, scratch: &mut Scratch) -> Rel {
+    project_fold(input, keep, ProjFold::IndependentOr, par, scratch)
 }
 
 /// Max-projection: group by `keep`, keep the maximum score per group.
 /// Used by the lower-bound semantics: `P(⋁ᵢ eᵢ) ≥ maxᵢ P(eᵢ)`.
 pub fn project_max(input: &Rel, keep: &[Var]) -> Rel {
-    let cols: Vec<usize> = keep
-        .iter()
-        .map(|&v| input.col_of(v).expect("projection var missing"))
-        .collect();
-    let mut out = Rel::empty(keep.to_vec());
-    for (key, &score) in &input.rows {
-        out.insert_max(group_key(key, &cols), score);
-    }
-    out
+    project_max_par(input, keep, Par::serial(), &mut Scratch::default())
+}
+
+/// [`project_max`] with a parallelism budget and reusable scratch.
+pub fn project_max_par(input: &Rel, keep: &[Var], par: Par, scratch: &mut Scratch) -> Rel {
+    project_fold(input, keep, ProjFold::Max, par, scratch)
 }
 
 /// Deterministic projection: group by `keep`, score 1 for every surviving
 /// group (standard SQL `SELECT DISTINCT`).
 pub fn project_det(input: &Rel, keep: &[Var]) -> Rel {
-    let cols: Vec<usize> = keep
-        .iter()
-        .map(|&v| input.col_of(v).expect("projection var missing"))
-        .collect();
-    let mut out = Rel::empty(keep.to_vec());
-    for key in input.rows.keys() {
-        out.rows.insert(group_key(key, &cols), 1.0);
-    }
-    out
+    project_det_par(input, keep, Par::serial(), &mut Scratch::default())
 }
+
+/// [`project_det`] with a parallelism budget and reusable scratch.
+pub fn project_det_par(input: &Rel, keep: &[Var], par: Par, scratch: &mut Scratch) -> Rel {
+    project_fold(input, keep, ProjFold::One, par, scratch)
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise min: sorted merges
+// ---------------------------------------------------------------------------
 
 /// Fold `next` into `acc` by per-tuple minimum, aligning `next`'s columns
 /// to `acc`'s order. The incremental form of [`min_combine`], used by
-/// `propagation_score` to accumulate the min over plans without leaving
-/// the encoded representation.
+/// `propagation_score` to accumulate the min over plans.
+///
+/// Both inputs are sorted, so this is a pointwise merge. When the key sets
+/// coincide — they do for plans of the same query, the only caller on the
+/// hot path — the merge runs **fully in place** on `acc`'s score column:
+/// no map, no fresh vector, not even a staging buffer. Keys present only
+/// in `next` are collected and merged in with one allocation per column.
 pub fn min_into(acc: &mut Rel, next: &Rel) {
+    min_into_par(acc, next, Par::serial(), &mut Scratch::default());
+}
+
+/// [`min_into`] with a parallelism budget and reusable scratch (the
+/// scratch is only touched when `next`'s column order differs from
+/// `acc`'s and a key re-sort is needed).
+pub fn min_into_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) {
+    acc.assert_canonical();
+    next.assert_canonical();
     let perm: Vec<usize> = acc
         .vars
         .iter()
         .map(|&v| next.col_of(v).expect("min over mismatched vars"))
         .collect();
     let identity = perm.iter().copied().eq(0..perm.len());
-    for (key, &score) in &next.rows {
-        let akey = if identity {
-            key.clone()
-        } else {
-            group_key(key, &perm)
-        };
-        match acc.rows.get_mut(&akey) {
-            Some(s) => *s = s.min(score),
-            None => {
-                acc.rows.insert(akey, score);
+    let next_cols: Vec<&[Vid]> = perm.iter().map(|&c| next.col(c)).collect();
+    // Bring `next` into acc-column order (free when the orders agree).
+    sort_rows(&next_cols, next.len(), identity, par, &mut scratch.rkeys);
+    let nkeys = &scratch.rkeys;
+
+    let acc_cols: Vec<&[Vid]> = acc.cols.iter().map(Vec::as_slice).collect();
+    let cmp_rows = |ai: usize, nj: usize| -> std::cmp::Ordering {
+        let nrow = nkeys[nj].1 as usize;
+        for (ac, nc) in acc_cols.iter().zip(&next_cols) {
+            match ac[ai].cmp(&nc[nrow]) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+
+    // In-place pointwise min; extras are the next-only keys.
+    let mut extras: Vec<u32> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < acc.len() && j < nkeys.len() {
+        match cmp_rows(i, j) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => {
+                extras.push(nkeys[j].1);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let s = next.score(nkeys[j].1 as usize);
+                let cur = &mut acc.scores[i];
+                *cur = cur.min(s);
+                i += 1;
+                j += 1;
             }
         }
     }
+    extras.extend(nkeys[j..].iter().map(|&(_, r)| r));
+    drop(acc_cols);
+    if extras.is_empty() {
+        return;
+    }
+
+    // Rare path (plans of different queries / tests): merge the next-only
+    // rows in, keeping the canonical order.
+    let total = acc.len() + extras.len();
+    let mut merged_cols: Vec<Vec<Vid>> = vec![Vec::with_capacity(total); acc.arity()];
+    let mut merged_scores: Vec<f64> = Vec::with_capacity(total);
+    let (mut i, mut j) = (0usize, 0usize);
+    let push_acc = |cols: &mut [Vec<Vid>], scores: &mut Vec<f64>, acc: &Rel, i: usize| {
+        for (out, col) in cols.iter_mut().zip(&acc.cols) {
+            out.push(col[i]);
+        }
+        scores.push(acc.scores[i]);
+    };
+    let push_next = |cols: &mut [Vec<Vid>], scores: &mut Vec<f64>, row: usize| {
+        for (out, &nc) in cols.iter_mut().zip(&next_cols) {
+            out.push(nc[row]);
+        }
+        scores.push(next.score(row));
+    };
+    while i < acc.len() || j < extras.len() {
+        let take_acc = if i >= acc.len() {
+            false
+        } else if j >= extras.len() {
+            true
+        } else {
+            let erow = extras[j] as usize;
+            let ord = acc
+                .cols
+                .iter()
+                .zip(&next_cols)
+                .map(|(ac, nc)| ac[i].cmp(&nc[erow]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal);
+            ord == std::cmp::Ordering::Less
+        };
+        if take_acc {
+            push_acc(&mut merged_cols, &mut merged_scores, acc, i);
+            i += 1;
+        } else {
+            push_next(&mut merged_cols, &mut merged_scores, extras[j] as usize);
+            j += 1;
+        }
+    }
+    acc.cols = merged_cols;
+    acc.scores = merged_scores;
 }
 
 /// Per-tuple minimum across alternative results for the same subquery
@@ -253,12 +1017,17 @@ pub fn min_combine(inputs: &[Rel]) -> Rel {
 
 /// [`min_combine`] over borrowed inputs.
 pub fn min_combine_refs(inputs: &[&Rel]) -> Rel {
+    min_combine_par(inputs, Par::serial(), &mut Scratch::default())
+}
+
+/// [`min_combine_refs`] with a parallelism budget and reusable scratch.
+/// One clone of the first input seeds the accumulator; every following
+/// input folds in via the in-place [`min_into_par`].
+pub fn min_combine_par(inputs: &[&Rel], par: Par, scratch: &mut Scratch) -> Rel {
     assert!(!inputs.is_empty(), "min of zero inputs");
-    let base = inputs[0];
-    let mut out = Rel::empty(base.vars.clone());
-    out.rows = base.rows.clone();
+    let mut out = inputs[0].clone();
     for rel in &inputs[1..] {
-        min_into(&mut out, rel);
+        min_into_par(&mut out, rel, par, scratch);
     }
     out
 }
@@ -279,16 +1048,18 @@ mod tests {
     }
 
     fn rel(vars: &[u32], rows: &[(&[i64], f64)]) -> Rel {
-        let mut r = Rel::empty(vars.iter().map(|&i| v(i)).collect());
+        let mut r = Rel::with_capacity(vars.iter().map(|&i| v(i)).collect(), rows.len());
         for (key, score) in rows {
-            let k = RowKey::from_fn(key.len(), |i| vid(key[i]));
-            r.rows.insert(k, *score);
+            let row: Vec<Vid> = key.iter().map(|&i| vid(i)).collect();
+            r.push_row(&row, *score);
         }
+        r.canonicalize(Par::serial(), &mut Scratch::default());
         r
     }
 
-    fn key(vids: &[i64]) -> RowKey {
-        RowKey::from_fn(vids.len(), |i| vid(vids[i]))
+    fn score_at(r: &Rel, vids: &[i64]) -> f64 {
+        let row: Vec<Vid> = vids.iter().map(|&i| vid(i)).collect();
+        r.score_of_row(&row).expect("row present")
     }
 
     #[test]
@@ -299,7 +1070,7 @@ mod tests {
         let j = join(&r, &s);
         assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
         assert_eq!(j.len(), 2);
-        assert!((j.rows[&key(&[1, 10, 100])] - 0.25).abs() < 1e-12);
+        assert!((score_at(&j, &[1, 10, 100]) - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -326,8 +1097,7 @@ mod tests {
         let j = join_many(vec![r, t, s]);
         assert_eq!(j.len(), 1);
         assert_eq!(j.vars.len(), 4);
-        let row = j.rows.values().next().unwrap();
-        assert!((row - 0.125).abs() < 1e-12);
+        assert!((j.score(0) - 0.125).abs() < 1e-12);
     }
 
     #[test]
@@ -336,8 +1106,7 @@ mod tests {
         // start pick is `a_small` (first 1-row input), which shares no
         // variable with anything, so the very next pick is the cartesian
         // fallback: it must take the 1-row `b` (v1), not index 0 (`a_big`,
-        // v0, 3 rows) as the old code did. `c` then joins `b` on v1 and
-        // `a_big` comes last.
+        // v0, 3 rows). `c` then joins `b` on v1 and `a_big` comes last.
         let a_big = rel(&[0], &[(&[1], 0.5), (&[2], 0.5), (&[3], 0.5)]);
         let a_small = rel(&[4], &[(&[9], 0.5)]);
         let b = rel(&[1], &[(&[5], 0.5)]);
@@ -345,9 +1114,7 @@ mod tests {
         let j = join_many(vec![a_big, a_small, b, c]);
         // Result is the full cartesian product either way; the fallback
         // order only shows in the output column layout (joins append the
-        // right input's new columns). Starting from `a_small` (v4), the
-        // fallback must fold in the 1-row `b` (v1) before the 3-row
-        // `a_big` (v0) — the old index-0 fallback did the opposite.
+        // right input's new columns).
         assert_eq!(j.len(), 6);
         let pos = |var: Var| j.vars.iter().position(|&u| u == var).unwrap();
         assert!(
@@ -365,8 +1132,21 @@ mod tests {
         );
         let p = project_prob(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
-        assert!((p.rows[&key(&[1])] - 0.75).abs() < 1e-12);
-        assert!((p.rows[&key(&[2])] - 0.3).abs() < 1e-12);
+        assert!((score_at(&p, &[1]) - 0.75).abs() < 1e-12);
+        assert!((score_at(&p, &[2]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_on_non_prefix_columns() {
+        // Group on the *second* column: forces the key re-sort path.
+        let r = rel(
+            &[0, 1],
+            &[(&[1, 10], 0.5), (&[2, 10], 0.5), (&[3, 11], 0.25)],
+        );
+        let p = project_prob(&r, &[v(1)]);
+        assert_eq!(p.len(), 2);
+        assert!((score_at(&p, &[10]) - 0.75).abs() < 1e-12);
+        assert!((score_at(&p, &[11]) - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -374,7 +1154,7 @@ mod tests {
         let r = rel(&[0], &[(&[1], 0.5), (&[2], 0.5)]);
         let p = project_prob(&r, &[]);
         assert_eq!(p.len(), 1);
-        assert!((p.rows[&RowKey::empty()] - 0.75).abs() < 1e-12);
+        assert!((p.score(0) - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -382,7 +1162,7 @@ mod tests {
         let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.9)]);
         let p = project_det(&r, &[v(0)]);
         assert_eq!(p.len(), 1);
-        assert_eq!(*p.rows.values().next().unwrap(), 1.0);
+        assert_eq!(p.score(0), 1.0);
     }
 
     #[test]
@@ -390,18 +1170,29 @@ mod tests {
         let a = rel(&[0], &[(&[1], 0.8), (&[2], 0.3)]);
         let b = rel(&[0], &[(&[1], 0.5), (&[2], 0.7)]);
         let m = min_combine(&[a, b]);
-        assert!((m.rows[&key(&[1])] - 0.5).abs() < 1e-12);
-        assert!((m.rows[&key(&[2])] - 0.3).abs() < 1e-12);
+        assert!((score_at(&m, &[1]) - 0.5).abs() < 1e-12);
+        assert!((score_at(&m, &[2]) - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn min_combine_aligns_columns() {
         let a = rel(&[0, 1], &[(&[1, 10], 0.8)]);
         // Same rows, but with columns swapped.
-        let mut b = Rel::empty(vec![v(1), v(0)]);
-        b.rows.insert(key(&[10, 1]), 0.2);
+        let b = rel(&[1, 0], &[(&[10, 1], 0.2)]);
         let m = min_combine(&[a, b]);
-        assert!((m.rows[&key(&[1, 10])] - 0.2).abs() < 1e-12);
+        assert!((score_at(&m, &[1, 10]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_into_merges_next_only_keys() {
+        let mut a = rel(&[0], &[(&[2], 0.8)]);
+        let b = rel(&[0], &[(&[1], 0.5), (&[2], 0.9), (&[3], 0.1)]);
+        min_into(&mut a, &b);
+        assert_eq!(a.len(), 3);
+        assert!((score_at(&a, &[1]) - 0.5).abs() < 1e-12);
+        assert!((score_at(&a, &[2]) - 0.8).abs() < 1e-12);
+        assert!((score_at(&a, &[3]) - 0.1).abs() < 1e-12);
+        a.assert_canonical();
     }
 
     #[test]
@@ -412,8 +1203,8 @@ mod tests {
         );
         let p = project_max(&r, &[v(0)]);
         assert_eq!(p.len(), 2);
-        assert!((p.rows[&key(&[1])] - 0.8).abs() < 1e-12);
-        assert!((p.rows[&key(&[2])] - 0.3).abs() < 1e-12);
+        assert!((score_at(&p, &[1]) - 0.8).abs() < 1e-12);
+        assert!((score_at(&p, &[2]) - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -421,29 +1212,107 @@ mod tests {
         let r = rel(&[0, 1], &[(&[1, 10], 0.5), (&[1, 11], 0.8)]);
         let lo = project_max(&r, &[v(0)]);
         let hi = project_prob(&r, &[v(0)]);
-        assert!(lo.rows[&key(&[1])] <= hi.rows[&key(&[1])]);
+        assert!(score_at(&lo, &[1]) <= score_at(&hi, &[1]));
     }
 
     #[test]
-    fn insert_max_keeps_strongest() {
-        let mut r = Rel::empty(vec![v(0)]);
-        r.insert_max(key(&[1]), 0.3);
-        r.insert_max(key(&[1]), 0.6);
-        r.insert_max(key(&[1]), 0.1);
-        assert!((r.rows[&key(&[1])] - 0.6).abs() < 1e-12);
+    fn duplicate_rows_canonicalize_to_strongest() {
+        let r = rel(&[0], &[(&[1], 0.3), (&[1], 0.6), (&[1], 0.1)]);
+        assert_eq!(r.len(), 1);
+        assert!((score_at(&r, &[1]) - 0.6).abs() < 1e-12);
     }
 
     #[test]
-    fn wide_rows_spill_and_still_join() {
-        // Arity 5 exceeds the RowKey inline capacity; join must behave
-        // identically.
+    fn wide_rows_sort_and_join() {
+        // Arity 5 exceeds the u128 packing width of 4 columns; sorting and
+        // joining must fall through to the tie-resolution path.
         let r = rel(&[0, 1, 2, 3, 4], &[(&[1, 2, 3, 4, 5], 0.5)]);
         let s = rel(&[4, 5], &[(&[5, 6], 0.5)]);
         let j = join(&r, &s);
         assert_eq!(j.len(), 1);
         assert_eq!(j.vars.len(), 6);
-        assert!((j.rows[&key(&[1, 2, 3, 4, 5, 6])] - 0.25).abs() < 1e-12);
+        assert!((score_at(&j, &[1, 2, 3, 4, 5, 6]) - 0.25).abs() < 1e-12);
         let p = project_prob(&j, &[v(0), v(5)]);
-        assert!((p.rows[&key(&[1, 6])] - 0.25).abs() < 1e-12);
+        assert!((score_at(&p, &[1, 6]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_sort_orders_by_late_columns() {
+        // Identical first four columns; only column 5 differs, so ordering
+        // (and distinctness) hinges on the recursion beyond the packed
+        // prefix.
+        let r = rel(
+            &[0, 1, 2, 3, 4],
+            &[
+                (&[1, 1, 1, 1, 9], 0.2),
+                (&[1, 1, 1, 1, 3], 0.4),
+                (&[1, 1, 1, 1, 7], 0.6),
+            ],
+        );
+        assert_eq!(r.len(), 3);
+        let col4: Vec<Vid> = r.col(4).to_vec();
+        assert_eq!(col4, vec![3, 7, 9]);
+        r.assert_canonical();
+    }
+
+    #[test]
+    fn parallel_ops_match_serial_bitwise() {
+        // Deterministic pseudo-random batch, large enough to engage the
+        // morsel paths.
+        let n = 3 * MIN_PAR_ROWS;
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut left = Rel::with_capacity(vec![v(0), v(1)], n);
+        let mut right = Rel::with_capacity(vec![v(1), v(2)], n);
+        for _ in 0..n {
+            let a = (next() % 97) as Vid;
+            let b = (next() % 53) as Vid;
+            let c = (next() % 41) as Vid;
+            let p = (next() % 1000) as f64 / 1000.0;
+            left.push_row(&[a, b], p);
+            right.push_row(&[b, c], 1.0 - p / 2.0);
+        }
+        let par = Par::new(4);
+        let mut scratch = Scratch::default();
+        let mut left_par = left.clone();
+        left_par.canonicalize(par, &mut scratch);
+        left.canonicalize(Par::serial(), &mut Scratch::default());
+        let mut right_par = right.clone();
+        right_par.canonicalize(par, &mut scratch);
+        right.canonicalize(Par::serial(), &mut Scratch::default());
+        assert_eq!(left, left_par);
+        assert_eq!(right, right_par);
+
+        let j_serial = join(&left, &right);
+        let j_par = join_par(&left, &right, par, &mut scratch);
+        assert_eq!(j_serial, j_par);
+        let p_serial = project_prob(&j_serial, &[v(0)]);
+        let p_par = project_prob_par(&j_par, &[v(0)], par, &mut scratch);
+        assert_eq!(p_serial, p_par);
+        // Bitwise, not approximate: the fold order must be identical.
+        for (a, b) in p_serial.scores().iter().zip(p_par.scores()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = chunk_ranges(n, parts);
+                let mut at = 0;
+                for (lo, hi) in &ranges {
+                    assert_eq!(*lo, at);
+                    assert!(hi >= lo);
+                    at = *hi;
+                }
+                assert_eq!(at, n);
+            }
+        }
     }
 }

@@ -7,14 +7,17 @@
 //! run on (often much) smaller inputs. For acyclic queries this is a full
 //! reducer (Yannakakis); for cyclic queries it is still a sound filter.
 //!
-//! The passes run on the database's dictionary-encoded columns: semi-join
-//! membership tests hash and compare vids, never values. The codec lock is
-//! held only while the query's relations are encoded up front; the passes
-//! themselves run lock-free on the shared encoded cells.
+//! The passes run on the database's dictionary-encoded columns and are
+//! merge-based, mirroring the engine's sort-merge operators: each pass
+//! sorts the reducing atom's distinct join keys once (vids packed into one
+//! `u128` for keys of up to four columns, [`RowKey`] order beyond) and
+//! tests membership by binary search — no hashing, no per-row allocation.
+//! The codec lock is held only while the query's relations are encoded up
+//! front; the passes themselves run lock-free on the shared encoded cells.
 
 use crate::prepare::{prepare_atoms_lenient, PreparedAtom, ScanShape};
 use lapush_query::{Atom, Query, Term, Var};
-use lapush_storage::{Database, FxHashSet, RowKey};
+use lapush_storage::{Database, RowKey, Vid};
 
 /// Reduce the database for the given query. Returns a new database holding,
 /// for every relation mentioned by the query, only the tuples that survive
@@ -131,8 +134,18 @@ fn shared_vars(a: &Atom, b: &Atom) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Pack a row's shared-variable vids into one `u128` (up to four columns;
+/// shared encoding: [`lapush_storage::pack_vids`]).
+#[inline]
+fn pack_key(row: &[Vid], cols: impl Iterator<Item = usize>) -> u128 {
+    lapush_storage::pack_vids(cols.map(|c| row[c]))
+}
+
 /// One semi-join pass: keep rows of atom `i` whose shared-variable vids
 /// appear in atom `j`'s surviving rows. Returns true if `i` shrank.
+///
+/// Merge-based: atom `j`'s distinct keys are sorted once and atom `i`'s
+/// rows are kept by binary search — integer comparisons only.
 fn semijoin_pass(
     preps: &[Option<PreparedAtom>],
     i: usize,
@@ -150,21 +163,38 @@ fn semijoin_pass(
     // Non-empty survivor lists imply the atoms were prepared.
     let pi = preps[i].as_ref().expect("survivors imply prepared atom");
     let pj = preps[j].as_ref().expect("survivors imply prepared atom");
-
-    let keys_j: FxHashSet<RowKey> = survivors[j]
-        .iter()
-        .map(|&r| {
-            let row = &pj.cells[r as usize * pj.arity..(r as usize + 1) * pj.arity];
-            RowKey::from_fn(shared.len(), |s| row[shared[s].1])
-        })
-        .collect();
+    fn row_of(p: &PreparedAtom, r: u32) -> &[Vid] {
+        &p.cells[r as usize * p.arity..(r as usize + 1) * p.arity]
+    }
 
     let before = survivors[i].len();
-    survivors[i].retain(|&r| {
-        let row = &pi.cells[r as usize * pi.arity..(r as usize + 1) * pi.arity];
-        let key = RowKey::from_fn(shared.len(), |s| row[shared[s].0]);
-        keys_j.contains(&key)
-    });
+    if shared.len() <= 4 {
+        let mut keys_j: Vec<u128> = survivors[j]
+            .iter()
+            .map(|&r| pack_key(row_of(pj, r), shared.iter().map(|&(_, c)| c)))
+            .collect();
+        keys_j.sort_unstable();
+        keys_j.dedup();
+        survivors[i].retain(|&r| {
+            let key = pack_key(row_of(pi, r), shared.iter().map(|&(c, _)| c));
+            keys_j.binary_search(&key).is_ok()
+        });
+    } else {
+        let mut keys_j: Vec<RowKey> = survivors[j]
+            .iter()
+            .map(|&r| {
+                let row = row_of(pj, r);
+                RowKey::from_fn(shared.len(), |s| row[shared[s].1])
+            })
+            .collect();
+        keys_j.sort_unstable();
+        keys_j.dedup();
+        survivors[i].retain(|&r| {
+            let row = row_of(pi, r);
+            let key = RowKey::from_fn(shared.len(), |s| row[shared[s].0]);
+            keys_j.binary_search(&key).is_ok()
+        });
+    }
     survivors[i].len() != before
 }
 

@@ -1,10 +1,16 @@
 //! Lineage construction: the provenance-tracking deterministic join.
 //!
 //! The joins here run on the database's dictionary-encoded columns — the
-//! same vid representation the engine executes plans on — so binding keys
-//! hash and compare integers; answer keys are decoded to [`Value`]s once,
-//! when the per-answer DNFs are grouped. The codec lock is held only for
-//! the up-front encode and the final decode, never across the joins.
+//! same vid representation the engine executes plans on — and, like the
+//! engine's columnar operators, they are **sort-merge joins**: both sides
+//! are brought into join-key order (keys of up to four vids packed into
+//! one `u128`, wider keys ordered as [`RowKey`]s) and matching key blocks
+//! are enumerated by one linear merge. No hashing, no per-probe
+//! allocation; the emitted implicant sets are identical because
+//! [`crate::formula::Dnf`] canonicalizes implicant order. Answer keys are
+//! decoded to [`Value`]s once, when the per-answer DNFs are grouped. The
+//! codec lock is held only for the up-front encode and the final decode,
+//! never across the joins.
 
 use crate::formula::Dnf;
 use lapush_engine::prepare::{PrepareError, PreparedAtom, ScanShape};
@@ -206,6 +212,42 @@ fn scan_atom(
     }
 }
 
+/// Merge two key-sorted `(key, row)` sequences, invoking `emit` for every
+/// matching `(left row, right row)` pair — the block cross product of a
+/// sort-merge join.
+fn merge_matches<K: Ord>(lkeys: &[(K, u32)], rkeys: &[(K, u32)], mut emit: impl FnMut(u32, u32)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        match lkeys[i].0.cmp(&rkeys[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut i1 = i + 1;
+                while i1 < lkeys.len() && lkeys[i1].0 == lkeys[i].0 {
+                    i1 += 1;
+                }
+                let mut j1 = j + 1;
+                while j1 < rkeys.len() && rkeys[j1].0 == rkeys[j].0 {
+                    j1 += 1;
+                }
+                for &(_, lr) in &lkeys[i..i1] {
+                    for &(_, rr) in &rkeys[j..j1] {
+                        emit(lr, rr);
+                    }
+                }
+                i = i1;
+                j = j1;
+            }
+        }
+    }
+}
+
+/// Pack a binding's join-key vids into one `u128` (≤ 4 columns; shared
+/// encoding: [`lapush_storage::pack_vids`]).
+fn pack_key(key: &RowKey, cols: &[usize]) -> u128 {
+    lapush_storage::pack_vids(cols.iter().map(|&c| key.get(c)))
+}
+
 fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
     let shared: Vec<(usize, usize)> = left
         .vars
@@ -220,28 +262,54 @@ fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
     let mut out_vars = left.vars.clone();
     out_vars.extend(right_only.iter().map(|&ri| right.vars[ri]));
 
-    let mut index: FxHashMap<RowKey, Vec<usize>> = FxHashMap::default();
-    for (i, (rkey, _)) in right.rows.iter().enumerate() {
-        let jk = RowKey::from_fn(shared.len(), |s| rkey.get(shared[s].1));
-        index.entry(jk).or_default().push(i);
-    }
-
     let mut rows = Vec::new();
-    for (lkey, lprov) in &left.rows {
-        let jk = RowKey::from_fn(shared.len(), |s| lkey.get(shared[s].0));
-        let Some(matches) = index.get(&jk) else {
-            continue;
-        };
-        for &ri in matches {
-            let (rkey, rprov) = &right.rows[ri];
-            let key: RowKey = lkey
-                .iter()
-                .chain(right_only.iter().map(|&c| rkey.get(c)))
-                .collect();
-            let mut prov = lprov.clone();
-            prov.extend_from_slice(rprov);
-            rows.push((key, prov));
-        }
+    let mut emit = |lr: u32, rr: u32| {
+        let (lkey, lprov) = &left.rows[lr as usize];
+        let (rkey, rprov) = &right.rows[rr as usize];
+        let key: RowKey = lkey
+            .iter()
+            .chain(right_only.iter().map(|&c| rkey.get(c)))
+            .collect();
+        let mut prov = lprov.clone();
+        prov.extend_from_slice(rprov);
+        rows.push((key, prov));
+    };
+    let lcols: Vec<usize> = shared.iter().map(|&(c, _)| c).collect();
+    let rcols: Vec<usize> = shared.iter().map(|&(_, c)| c).collect();
+    if shared.len() <= 4 {
+        // Packed-integer keys: one u128 comparison per merge step.
+        let mut lkeys: Vec<(u128, u32)> = left
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (pack_key(k, &lcols), i as u32))
+            .collect();
+        let mut rkeys: Vec<(u128, u32)> = right
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (pack_key(k, &rcols), i as u32))
+            .collect();
+        lkeys.sort_unstable();
+        rkeys.sort_unstable();
+        merge_matches(&lkeys, &rkeys, &mut emit);
+    } else {
+        // Wide keys: lexicographic RowKey order (see lapush_storage).
+        let mut lkeys: Vec<(RowKey, u32)> = left
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (RowKey::from_fn(lcols.len(), |s| k.get(lcols[s])), i as u32))
+            .collect();
+        let mut rkeys: Vec<(RowKey, u32)> = right
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (RowKey::from_fn(rcols.len(), |s| k.get(rcols[s])), i as u32))
+            .collect();
+        lkeys.sort_unstable();
+        rkeys.sort_unstable();
+        merge_matches(&lkeys, &rkeys, &mut emit);
     }
     ProvRel {
         vars: out_vars,

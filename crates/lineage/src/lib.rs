@@ -39,4 +39,4 @@ pub use exact::{
     exact_prob, exact_prob_bounded, exact_prob_with_stats, is_read_once, ExactComputer, ExactStats,
 };
 pub use formula::Dnf;
-pub use mc::{karp_luby, monte_carlo, monte_carlo_with};
+pub use mc::{karp_luby, monte_carlo, monte_carlo_each, monte_carlo_with};

@@ -43,6 +43,52 @@ pub fn monte_carlo(dnf: &Dnf, probs: &[f64], samples: usize, seed: u64) -> f64 {
     monte_carlo_with(dnf, probs, samples, &mut rng)
 }
 
+/// Per-answer Monte Carlo over many DNFs, optionally in parallel.
+///
+/// DNF `i` is estimated with its own RNG seeded `seed + i`
+/// (wrapping), exactly like the serial per-answer loop of the drivers —
+/// answers are independent, so the work is embarrassingly parallel and the
+/// returned estimates are **bit-identical at every thread count**. With
+/// `threads <= 1` no thread is spawned; otherwise the answers are cut into
+/// contiguous chunks across `std::thread::scope` workers and the chunk
+/// results are concatenated in answer order.
+pub fn monte_carlo_each(
+    dnfs: &[&Dnf],
+    probs: &[f64],
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
+    let one = |offset: usize, dnf: &Dnf| {
+        monte_carlo(dnf, probs, samples, seed.wrapping_add(offset as u64))
+    };
+    if threads <= 1 || dnfs.len() < 2 {
+        return dnfs.iter().enumerate().map(|(i, d)| one(i, d)).collect();
+    }
+    let chunk_len = dnfs.len().div_ceil(threads.max(1));
+    let parts: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = dnfs
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let base = ci * chunk_len;
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| one(base + i, d))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampling thread panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
 /// Karp–Luby unbiased estimator for monotone DNF probability.
 ///
 /// Let `w(i) = P(implicant i true) = ∏ p(v)` and `W = Σ w(i)`. Sample an
@@ -159,6 +205,22 @@ mod tests {
         let t = Dnf::new([Vec::<u32>::new()]);
         assert_eq!(monte_carlo(&t, &[], 10, 0), 1.0);
         assert_eq!(karp_luby(&t, &[], 10, 0), 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_each_matches_serial_loop_at_any_thread_count() {
+        let (f, probs) = formula();
+        let g = Dnf::new([vec![0], vec![3]]);
+        let dnfs: Vec<&Dnf> = vec![&f, &g, &f];
+        let serial: Vec<f64> = dnfs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| monte_carlo(d, &probs, 2000, 9u64.wrapping_add(i as u64)))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let got = monte_carlo_each(&dnfs, &probs, 2000, 9, threads);
+            assert_eq!(got, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,27 @@ use std::fmt;
 /// Dense id of an interned [`Value`], unique within one [`ValueInterner`].
 pub type Vid = u32;
 
+/// Pack up to four [`Vid`]s into one `u128` sort/join key, 32 bits each,
+/// first vid most significant.
+///
+/// As long as every row packs the same number of vids, packed keys compare
+/// exactly like the vid tuples — the shared encoding behind the engine's
+/// sort-merge operators, the semi-join reducer, and the lineage joins.
+///
+/// # Panics
+/// Debug-asserts at most four vids (more would overflow the 128 bits).
+#[inline]
+pub fn pack_vids(vids: impl Iterator<Item = Vid>) -> u128 {
+    let mut key = 0u128;
+    let mut n = 0;
+    for v in vids {
+        key = (key << 32) | v as u128;
+        n += 1;
+    }
+    debug_assert!(n <= 4, "a u128 key holds at most four vids");
+    key
+}
+
 /// Bidirectional dictionary between [`Value`]s and dense [`Vid`]s.
 #[derive(Debug, Clone, Default)]
 pub struct ValueInterner {
@@ -213,6 +234,24 @@ impl PartialEq for RowKey {
 
 impl Eq for RowKey {}
 
+/// Lexicographic order over the logical vid slice, matching the canonical
+/// row order of the engine's columnar relations. Like `Eq`/`Hash`, the
+/// order is representation-independent (inline vs spilled keys compare
+/// equal when their slices do), so sorted `RowKey` sequences can be merged
+/// and binary-searched — the wide-key fallback of the engine's sort-merge
+/// operators and the semi-join reducer rely on this.
+impl PartialOrd for RowKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RowKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
 impl std::hash::Hash for RowKey {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.as_slice().hash(state);
@@ -300,6 +339,35 @@ mod tests {
         assert_ne!(RowKey::from_slice(&[1, 2]), RowKey::from_slice(&[1, 2, 0]));
         assert_eq!(RowKey::empty(), RowKey::from_slice(&[]));
         assert!(RowKey::empty().is_empty());
+    }
+
+    #[test]
+    fn rowkey_order_is_lexicographic_across_representations() {
+        // Inline (≤ 3) and spilled (> 3) keys share one total order.
+        let mut keys = [
+            RowKey::from_slice(&[2]),
+            RowKey::from_slice(&[1, 9]),
+            RowKey::from_slice(&[1, 2, 3, 4]),
+            RowKey::from_slice(&[1, 2, 3]),
+            RowKey::empty(),
+            RowKey::from_slice(&[1]),
+        ];
+        keys.sort();
+        let slices: Vec<&[Vid]> = keys.iter().map(RowKey::as_slice).collect();
+        assert_eq!(
+            slices,
+            vec![
+                &[][..],
+                &[1][..],
+                &[1, 2, 3][..],
+                &[1, 2, 3, 4][..],
+                &[1, 9][..],
+                &[2][..],
+            ]
+        );
+        // Prefix sorts before its extension; binary search agrees.
+        assert!(keys.binary_search(&RowKey::from_slice(&[1, 2, 3])).is_ok());
+        assert!(keys.binary_search(&RowKey::from_slice(&[1, 5])).is_err());
     }
 
     #[test]

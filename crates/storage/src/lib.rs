@@ -43,7 +43,7 @@ pub use csv::{database_from_dir, relation_from_text, CsvError, CsvOptions};
 pub use database::{Database, DbCodec, RelId};
 pub use error::StorageError;
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use intern::{RowKey, ValueInterner, Vid};
+pub use intern::{pack_vids, RowKey, ValueInterner, Vid};
 pub use prob::{clamp01, independent_and, independent_or};
 pub use relation::{Fd, Relation};
 pub use tuple::{Tuple, TupleId};

@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RankOptions {
             opt: OptLevel::MultiPlan,
             use_schema: true,
+            threads: 1,
         },
     )?
     .boolean_score();

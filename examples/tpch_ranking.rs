@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RankOptions {
             opt: lapushdb::OptLevel::Opt123,
             use_schema: false,
+            threads: 1,
         },
     )?;
     let t_diss = t0.elapsed();

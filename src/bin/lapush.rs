@@ -13,12 +13,17 @@
 //! [low, ρ] interval), `exact` (WMC oracle), `mc` (Monte Carlo, with
 //! `--samples`), `sql` (deterministic answers), `plans` (print plans only).
 //!
+//! `--threads N` (default 1) turns on the engine's morsel parallelism:
+//! large joins/scans are partitioned by key range and the outer loops
+//! (minimal-plan roots, per-answer sampling) run on scoped threads.
+//! Answers are bit-identical at every thread count.
+//!
 //! The `bench` subcommand runs the whole experiment suite of the
 //! `lapush-bench` crate and writes one machine-readable
 //! `BENCH_<target>.json` report per experiment:
 //!
 //! ```console
-//! $ lapush bench --quick --out bench-out
+//! $ lapush bench --quick --out bench-out [--threads N]
 //! ```
 //!
 //! Compare the reports against committed baselines with the `bench-diff`
@@ -27,7 +32,8 @@
 use lapushdb::prelude::*;
 use lapushdb::storage::{database_from_dir, CsvOptions};
 use lapushdb::{
-    benchsuite, bound_answers, exact_answers, mc_answers, rank_by_dissociation, RankOptions,
+    benchsuite, bound_answers_threaded, exact_answers, mc_answers_threaded, rank_by_dissociation,
+    RankOptions,
 };
 
 fn arg(name: &str) -> Option<String> {
@@ -48,26 +54,35 @@ fn main() {
     }
 }
 
-/// `lapush bench [--quick|--full] [--out DIR]`: run the experiment suite,
-/// forwarding the scale and output flags to every experiment binary.
+/// `lapush bench [--quick|--full] [--out DIR] [--threads N]`: run the
+/// experiment suite, forwarding the scale, output, and thread-count flags
+/// to every experiment binary (each records the thread count in its
+/// report metadata).
 fn run_bench() -> i32 {
-    let usage = "usage: lapush bench [--quick|--full] [--out DIR]";
+    let usage = "usage: lapush bench [--quick|--full] [--out DIR] [--threads N]";
     let args: Vec<String> = std::env::args().skip(2).collect();
     let mut forwarded: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" | "--full" => forwarded.push(args[i].clone()),
-            "--out" => {
-                let Some(dir) = args.get(i + 1).filter(|d| !d.starts_with("--")) else {
-                    eprintln!("lapush bench: --out needs a directory\n{usage}");
+            "--out" | "--threads" => {
+                let flag = args[i].clone();
+                let Some(value) = args.get(i + 1).filter(|d| !d.starts_with("--")) else {
+                    eprintln!("lapush bench: {flag} needs a value\n{usage}");
                     return 2;
                 };
-                forwarded.push("--out".into());
-                forwarded.push(dir.clone());
+                if flag == "--threads" && value.parse::<usize>().map_or(true, |t| t < 1) {
+                    eprintln!("lapush bench: --threads needs a positive integer\n{usage}");
+                    return 2;
+                }
+                forwarded.push(flag);
+                forwarded.push(value.clone());
                 i += 1;
             }
-            out if out.starts_with("--out=") => forwarded.push(out.to_string()),
+            out if out.starts_with("--out=") || out.starts_with("--threads=") => {
+                forwarded.push(out.to_string())
+            }
             other => {
                 eprintln!("lapush bench: unexpected argument `{other}`\n{usage}");
                 return 2;
@@ -90,6 +105,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let query_text = arg("query").ok_or("missing --query '<datalog query>'")?;
     let q = parse_query(&query_text)?;
     let method = arg("method").unwrap_or_else(|| "diss".into());
+    let threads: usize = match arg("threads") {
+        Some(t) => t
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or("--threads needs a positive integer")?,
+        None => 1,
+    };
 
     if method == "plans" {
         let shape = QueryShape::of_query(&q);
@@ -115,11 +138,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     match method.as_str() {
         "diss" => {
-            let ans = rank_by_dissociation(&db, &q, RankOptions::default())?;
+            let opts = RankOptions {
+                threads,
+                ..RankOptions::default()
+            };
+            let ans = rank_by_dissociation(&db, &q, opts)?;
             print_answers(&ans, None);
         }
         "bounds" => {
-            let (lower, upper) = bound_answers(&db, &q)?;
+            let (lower, upper) = bound_answers_threaded(&db, &q, threads)?;
             print_answers(&upper, Some(&lower));
         }
         "exact" => {
@@ -128,11 +155,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "mc" => {
             let samples: usize = arg("samples").and_then(|s| s.parse().ok()).unwrap_or(1000);
-            let ans = mc_answers(&db, &q, samples, 42)?;
+            let ans = mc_answers_threaded(&db, &q, samples, 42, threads)?;
             print_answers(&ans, None);
         }
         "sql" => {
-            let ans = deterministic_answers(&db, &q)?;
+            let ans = lapushdb::engine::deterministic_answers_par(&db, &q, threads)?;
             for (key, _) in ans.ranked() {
                 println!("{}", render_key(&key));
             }

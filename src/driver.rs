@@ -6,7 +6,7 @@ use lapush_engine::{
     eval_plan_id, propagation_score_ids, reduce_database, AnswerSet, ExecError, ExecOptions,
     Semantics,
 };
-use lapush_lineage::{build_lineage, monte_carlo, ExactComputer, ExactStats, LineageError};
+use lapush_lineage::{build_lineage, monte_carlo_each, ExactComputer, ExactStats, LineageError};
 use lapush_query::Query;
 use lapush_storage::{Database, FxHashMap, Value};
 use std::fmt;
@@ -29,7 +29,7 @@ pub enum OptLevel {
 }
 
 /// Options for [`rank_by_dissociation`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct RankOptions {
     /// Evaluation strategy.
     pub opt: OptLevel,
@@ -37,6 +37,20 @@ pub struct RankOptions {
     /// `^d` markers; functional dependencies from the catalog) to reduce
     /// the number of plans (Section 3.3).
     pub use_schema: bool,
+    /// Morsel-parallelism budget forwarded to the engine
+    /// (`ExecOptions::threads`). `1` — the default — is strictly serial;
+    /// any value yields bit-identical answers.
+    pub threads: usize,
+}
+
+impl Default for RankOptions {
+    fn default() -> Self {
+        RankOptions {
+            opt: OptLevel::default(),
+            use_schema: false,
+            threads: 1,
+        }
+    }
 }
 
 /// Errors from the drivers.
@@ -101,15 +115,19 @@ pub fn rank_by_dissociation(
     // Plans stay in their hash-consed DAG form end to end: the enumerators
     // intern into a `PlanStore` and the engine evaluates ids against it —
     // no plan trees are materialized on this path.
+    let exec_default = ExecOptions {
+        threads: opts.threads,
+        ..ExecOptions::default()
+    };
     let ans = match opts.opt {
         OptLevel::MultiPlan => {
             let set = minimal_plan_set_opts(q, &schema, enum_opts);
-            propagation_score_ids(data, q, &set.store, &set.roots, ExecOptions::default())?
+            propagation_score_ids(data, q, &set.store, &set.roots, exec_default)?
         }
         OptLevel::Opt1 => {
             let mut store = PlanStore::new();
             let root = single_plan_id(&mut store, q, &schema, enum_opts);
-            eval_plan_id(data, q, &store, root, ExecOptions::default())?
+            eval_plan_id(data, q, &store, root, exec_default)?
         }
         OptLevel::Opt12 | OptLevel::Opt123 => {
             let mut store = PlanStore::new();
@@ -117,6 +135,7 @@ pub fn rank_by_dissociation(
             let exec = ExecOptions {
                 semantics: Semantics::Probabilistic,
                 reuse_views: true,
+                threads: opts.threads,
             };
             eval_plan_id(data, q, &store, root, exec)?
         }
@@ -133,12 +152,32 @@ pub fn rank_by_dissociation(
 /// hence a lower bound on the monotone lineage) and keeps the best bound
 /// per answer.
 pub fn bound_answers(db: &Database, q: &Query) -> Result<(AnswerSet, AnswerSet), DriverError> {
+    bound_answers_threaded(db, q, 1)
+}
+
+/// [`bound_answers`] with a morsel-parallelism budget (bit-identical
+/// bounds at every thread count).
+pub fn bound_answers_threaded(
+    db: &Database,
+    q: &Query,
+    threads: usize,
+) -> Result<(AnswerSet, AnswerSet), DriverError> {
     let schema = SchemaInfo::from_query(q);
     let set = minimal_plan_set_opts(q, &schema, EnumOptions::default());
-    let upper = propagation_score_ids(db, q, &set.store, &set.roots, ExecOptions::default())?;
+    let upper = propagation_score_ids(
+        db,
+        q,
+        &set.store,
+        &set.roots,
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        },
+    )?;
     let low_opts = ExecOptions {
         semantics: Semantics::LowerBound,
         reuse_views: false,
+        threads,
     };
     let mut lower: Option<AnswerSet> = None;
     for &root in &set.roots {
@@ -219,13 +258,25 @@ pub fn mc_answers(
     samples: usize,
     seed: u64,
 ) -> Result<AnswerSet, DriverError> {
+    mc_answers_threaded(db, q, samples, seed, 1)
+}
+
+/// [`mc_answers`] with a thread budget: answers are sampled in parallel
+/// (each answer keeps its own `seed + index` RNG, so the estimates are
+/// bit-identical to the serial loop at every thread count).
+pub fn mc_answers_threaded(
+    db: &Database,
+    q: &Query,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<AnswerSet, DriverError> {
     let lin = build_lineage(db, q)?;
+    let dnfs: Vec<&lapush_lineage::Dnf> = lin.answers.iter().map(|a| &a.dnf).collect();
+    let estimates = monte_carlo_each(&dnfs, &lin.var_probs, samples, seed, threads);
     let mut rows: FxHashMap<Box<[Value]>, f64> = FxHashMap::default();
-    for (i, a) in lin.answers.iter().enumerate() {
-        rows.insert(
-            a.key.clone(),
-            monte_carlo(&a.dnf, &lin.var_probs, samples, seed.wrapping_add(i as u64)),
-        );
+    for (a, p) in lin.answers.iter().zip(estimates) {
+        rows.insert(a.key.clone(), p);
     }
     Ok(AnswerSet {
         vars: q.head().to_vec(),
@@ -298,6 +349,7 @@ mod tests {
             RankOptions {
                 opt: OptLevel::MultiPlan,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap()
@@ -309,6 +361,7 @@ mod tests {
                 RankOptions {
                     opt,
                     use_schema: false,
+                    threads: 1,
                 },
             )
             .unwrap()
@@ -375,6 +428,7 @@ mod tests {
             RankOptions {
                 opt: OptLevel::Opt12,
                 use_schema: true,
+                threads: 1,
             },
         )
         .unwrap()
@@ -385,6 +439,7 @@ mod tests {
             RankOptions {
                 opt: OptLevel::Opt12,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap()

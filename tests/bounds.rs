@@ -68,6 +68,7 @@ fn optimization_levels_agree_on_random_instances() {
             RankOptions {
                 opt: OptLevel::MultiPlan,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap();
@@ -78,6 +79,7 @@ fn optimization_levels_agree_on_random_instances() {
                 RankOptions {
                     opt,
                     use_schema: false,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -204,6 +206,7 @@ fn semijoin_reduction_is_transparent() {
             RankOptions {
                 opt: OptLevel::Opt12,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap();
@@ -213,6 +216,7 @@ fn semijoin_reduction_is_transparent() {
             RankOptions {
                 opt: OptLevel::Opt123,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap();

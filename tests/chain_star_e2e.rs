@@ -61,6 +61,7 @@ fn chain_optimizations_agree_at_moderate_scale() {
         RankOptions {
             opt: OptLevel::MultiPlan,
             use_schema: false,
+            threads: 1,
         },
     )
     .unwrap();
@@ -71,6 +72,7 @@ fn chain_optimizations_agree_at_moderate_scale() {
             RankOptions {
                 opt,
                 use_schema: false,
+                threads: 1,
             },
         )
         .unwrap();

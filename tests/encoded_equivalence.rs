@@ -336,6 +336,7 @@ fn check_all_paths(db: &Database, q: &Query) -> Result<(), TestCaseError> {
             RankOptions {
                 opt,
                 use_schema: false,
+                threads: 1,
             },
         )
         .expect("rank")
@@ -359,6 +360,7 @@ fn check_all_paths(db: &Database, q: &Query) -> Result<(), TestCaseError> {
             let opts = ExecOptions {
                 semantics: sem,
                 reuse_views: false,
+                threads: 1,
             };
             let got = eval_plan(db, q, p, opts).expect("eval");
             let want = reference::eval_plan(db, q, p, sem);

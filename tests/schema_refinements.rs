@@ -130,6 +130,7 @@ fn schema_aware_driver_is_exact_on_safe_with_dr_query() {
             RankOptions {
                 opt,
                 use_schema: true,
+                threads: 1,
             },
         )
         .unwrap()
