@@ -62,4 +62,4 @@ pub use plan::{
     Plan, PlanKind,
 };
 pub use schema::SchemaInfo;
-pub use store::{NodeKind, PlanId, PlanNode, PlanSet, PlanStore};
+pub use store::{NodeKind, PlanId, PlanNode, PlanSet, PlanStore, ShapeKey};

@@ -22,8 +22,10 @@
 //! [`PlanStore::intern_plan`] encodes a tree back, and the two are
 //! mutually inverse on normalized plans.
 
+use crate::enumerate::EnumOptions;
 use crate::plan::{Plan, PlanKind};
-use lapush_query::{QueryShape, VarSet};
+use crate::schema::SchemaInfo;
+use lapush_query::{Query, QueryShape, VarFd, VarSet};
 use lapush_storage::FxHashMap;
 
 /// Dense handle of one interned plan node inside a [`PlanStore`].
@@ -312,6 +314,51 @@ impl PlanStore {
     }
 }
 
+/// Cache key for multi-query plan caching: everything plan enumeration
+/// depends on, and nothing it doesn't.
+///
+/// Enumeration (Algorithm 1, the single plan of Optimization 1, …) is a
+/// function of the query's [`QueryShape`] — which variables appear in which
+/// atoms, which atoms are probabilistic, which variables are in the head —
+/// plus the schema FDs and the [`EnumOptions`] refinement toggles. Relation
+/// *names*, constants, and comparison predicates never reach the
+/// enumerators (plans reference atoms by index), so two syntactically
+/// different queries with equal keys share their plan DAG verbatim: a
+/// long-running service can enumerate once per shape and serve every
+/// same-shaped query from the cached `(PlanStore, PlanId)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    shape: QueryShape,
+    fds: Vec<VarFd>,
+    use_deterministic: bool,
+    use_fds: bool,
+}
+
+impl ShapeKey {
+    /// Key of an explicit shape + FDs + enumeration options (the same
+    /// triple the `*_with` enumeration entry points consume).
+    pub fn new(shape: &QueryShape, fds: &[VarFd], opts: EnumOptions) -> Self {
+        ShapeKey {
+            shape: shape.clone(),
+            fds: fds.to_vec(),
+            use_deterministic: opts.use_deterministic,
+            use_fds: opts.use_fds,
+        }
+    }
+
+    /// Key of a query under schema knowledge — mirrors how
+    /// [`crate::minimal_plan_set_opts`] and [`crate::single_plan_id`]
+    /// derive their shape and FDs from `(q, schema)`.
+    pub fn of_query(q: &Query, schema: &SchemaInfo, opts: EnumOptions) -> Self {
+        ShapeKey::new(&schema.shape(q), &schema.fds, opts)
+    }
+
+    /// The shape this key was built from.
+    pub fn shape(&self) -> &QueryShape {
+        &self.shape
+    }
+}
+
 /// A set of plans over one shared [`PlanStore`]: what the memoized
 /// enumerators produce and what the engine's id-based entry points consume.
 #[derive(Debug, Clone)]
@@ -425,6 +472,31 @@ mod tests {
         let j = store.join(vec![r, s0]);
         let p = store.project(VarSet::EMPTY, j);
         assert_eq!(store.min_of(vec![p, p]), p);
+    }
+
+    #[test]
+    fn shape_keys_identify_plan_equivalent_queries() {
+        let key = |text: &str, opts: EnumOptions| {
+            let q = parse_query(text).unwrap();
+            ShapeKey::of_query(&q, &SchemaInfo::from_query(&q), opts)
+        };
+        let base = key("q :- R(x), S(x, y), T(y)", EnumOptions::default());
+        // Relation names, variable names, and constants are not part of
+        // the key: these queries share the cached plan DAG.
+        assert_eq!(
+            base,
+            key("q :- A(u), B(u, w), C(w)", EnumOptions::default())
+        );
+        // Head variables, atom structure, and enumeration options are.
+        assert_ne!(
+            base,
+            key("q(x) :- R(x), S(x, y), T(y)", EnumOptions::default())
+        );
+        assert_ne!(base, key("q :- R(x), S(x, y), T(y)", EnumOptions::full()));
+        assert_ne!(
+            base,
+            key("q :- R(x), S(x, y), T^d(y)", EnumOptions::default())
+        );
     }
 
     #[test]

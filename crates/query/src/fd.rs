@@ -15,7 +15,7 @@ use crate::varset::VarSet;
 use lapush_storage::Database;
 
 /// A functional dependency over query variables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarFd {
     /// Determinant variables.
     pub lhs: VarSet,

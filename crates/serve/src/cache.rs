@@ -1,0 +1,323 @@
+//! The server's two caches and their invalidation discipline.
+//!
+//! **Plan cache** — keyed by [`ShapeKey`]: everything plan enumeration
+//! depends on (query shape, schema FDs, refinement toggles) and nothing
+//! it doesn't. Data never invalidates it: plans reference atoms by index
+//! and are independent of relation contents, so entries live until
+//! evicted. The hash-consed [`PlanStore`] makes a hit near-free — the
+//! server reuses the interned DAG verbatim.
+//!
+//! **Answer cache** — keyed by the query's canonical display text and
+//! stamped with the [`DbStamp`] (relation and cell counts) the answer was
+//! computed against. Relations are append-only — tuples are never removed
+//! or rewritten in place — so "the counts still match" is a *complete*
+//! freshness check (the same argument that lets the storage codec reuse
+//! encoded column prefixes). A lookup under a newer stamp drops the stale
+//! entry and counts an invalidation.
+//!
+//! Both caches evict least-recently-used entries beyond a fixed capacity
+//! and expose their counters through [`CacheStats`] for the `STATS`
+//! command. All counters are deterministic functions of the request
+//! history (no clocks), which is what lets the CI smoke script and the
+//! `fig_serve` bench gate them exactly.
+
+use lapush_core::{PlanId, PlanStore, ShapeKey};
+use lapush_engine::AnswerSet;
+use lapush_storage::{Database, FxHashMap};
+use std::sync::Arc;
+
+/// Hit/miss/eviction counters of one cache (see the `STATS` command).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (includes invalidated entries).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped because their database stamp went stale
+    /// (always 0 for the plan cache — plans don't depend on data).
+    pub invalidations: u64,
+}
+
+/// A cached enumeration result: the interned DAG plus the root to
+/// evaluate (the single plan of Optimization 1, `min` pushed down).
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// Arena holding every node of the plan.
+    pub store: PlanStore,
+    /// Root id of the single plan.
+    pub root: PlanId,
+}
+
+/// LRU bookkeeping shared by both caches: entries carry the tick of
+/// their last use; eviction removes the smallest tick.
+fn evict_lru<K: Clone + Eq + std::hash::Hash, V>(map: &mut FxHashMap<K, (u64, V)>) {
+    if let Some(key) = map
+        .iter()
+        .min_by_key(|(_, (tick, _))| *tick)
+        .map(|(k, _)| k.clone())
+    {
+        map.remove(&key);
+    }
+}
+
+/// Multi-query plan cache: [`ShapeKey`] → [`CachedPlan`].
+#[derive(Debug)]
+pub struct PlanCache {
+    cap: usize,
+    tick: u64,
+    map: FxHashMap<ShapeKey, (u64, Arc<CachedPlan>)>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache holding at most `cap` shapes (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: FxHashMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Fetch the plan for `key`, building and inserting it on a miss.
+    ///
+    /// The build runs under the caller's lock on the whole cache — plan
+    /// enumeration is query-level work (independent of database size), so
+    /// serializing misses keeps hit/miss counts deterministic under
+    /// concurrency without measurably throttling the server.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: ShapeKey,
+        build: impl FnOnce() -> CachedPlan,
+    ) -> Arc<CachedPlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((last, plan)) = self.map.get_mut(&key) {
+            *last = tick;
+            self.stats.hits += 1;
+            return plan.clone();
+        }
+        self.stats.misses += 1;
+        if self.map.len() >= self.cap {
+            evict_lru(&mut self.map);
+            self.stats.evictions += 1;
+        }
+        let plan = Arc::new(build());
+        self.map.insert(key, (tick, plan.clone()));
+        plan
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Freshness stamp of a database: relation count plus total cell count
+/// (values and the probability column). Relations are append-only, so
+/// any ingest strictly grows the stamp and `stamp equality ⇒ identical
+/// contents since the answer was computed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbStamp {
+    /// Number of relations.
+    pub relations: u64,
+    /// Total cells: `Σ len × (arity + 1)` over all relations.
+    pub cells: u64,
+}
+
+impl DbStamp {
+    /// Stamp of a database's current contents.
+    pub fn of(db: &Database) -> Self {
+        DbStamp {
+            relations: db.relation_count() as u64,
+            cells: db
+                .relations()
+                .map(|(_, r)| (r.len() * (r.arity() + 1)) as u64)
+                .sum(),
+        }
+    }
+}
+
+/// Answer/score cache: canonical query text → scored answers, stamped
+/// with the database state they were computed against.
+#[derive(Debug)]
+pub struct AnswerCache {
+    cap: usize,
+    tick: u64,
+    map: FxHashMap<String, (u64, (DbStamp, Arc<AnswerSet>))>,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// Cache holding at most `cap` answers (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        AnswerCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: FxHashMap::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up `key` under the current database stamp. A stale entry
+    /// (stamp mismatch) is dropped, counted as an invalidation, and
+    /// reported as a miss — the caller recomputes and re-inserts.
+    pub fn lookup(&mut self, key: &str, stamp: DbStamp) -> Option<Arc<AnswerSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((last, (cached_stamp, ans))) if *cached_stamp == stamp => {
+                *last = tick;
+                self.stats.hits += 1;
+                Some(ans.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly computed answer, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: String, stamp: DbStamp, ans: Arc<AnswerSet>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            evict_lru(&mut self.map);
+            self.stats.evictions += 1;
+        }
+        self.map.insert(key, (self.tick, (stamp, ans)));
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lapush_core::{single_plan_id, EnumOptions, SchemaInfo};
+    use lapush_query::parse_query;
+    use lapush_storage::Value;
+
+    fn plan_of(text: &str) -> (ShapeKey, CachedPlan) {
+        let q = parse_query(text).unwrap();
+        let schema = SchemaInfo::from_query(&q);
+        let key = ShapeKey::of_query(&q, &schema, EnumOptions::default());
+        let mut store = PlanStore::new();
+        let root = single_plan_id(&mut store, &q, &schema, EnumOptions::default());
+        (key, CachedPlan { store, root })
+    }
+
+    #[test]
+    fn plan_cache_hits_on_equal_shapes_and_evicts_lru() {
+        let mut cache = PlanCache::new(2);
+        let (k1, p1) = plan_of("q :- R(x), S(x, y), T(y)");
+        let (k1b, _) = plan_of("q :- A(u), B(u, w), C(w)"); // same shape
+        let (k2, p2) = plan_of("q(x) :- R(x), S(x, y), T(y)");
+        let (k3, p3) = plan_of("q :- R(x), S(x)");
+        assert_eq!(k1, k1b);
+        let a = cache.get_or_insert_with(k1, || p1);
+        let b = cache.get_or_insert_with(k1b, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        cache.get_or_insert_with(k2.clone(), || p2);
+        // k1 is now the LRU entry (k2 was used last); inserting k3 evicts it.
+        cache.get_or_insert_with(k3, || p3);
+        assert_eq!(cache.len(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        // k2 survived the eviction.
+        cache.get_or_insert_with(k2, || unreachable!("k2 must still be cached"));
+    }
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(1)]), 0.5)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn answer_cache_invalidates_on_ingest() {
+        let mut db = tiny_db();
+        let mut cache = AnswerCache::new(8);
+        let ans = Arc::new(AnswerSet {
+            vars: vec![],
+            rows: FxHashMap::default(),
+        });
+        let stamp = DbStamp::of(&db);
+        assert!(cache.lookup("q", stamp).is_none());
+        cache.insert("q".into(), stamp, ans.clone());
+        assert!(cache.lookup("q", stamp).is_some());
+        // Append-only growth changes the stamp and invalidates.
+        db.relation_mut(0)
+            .push(Box::new([Value::Int(2)]), 0.5)
+            .unwrap();
+        let grown = DbStamp::of(&db);
+        assert_ne!(stamp, grown);
+        assert!(cache.lookup("q", grown).is_none());
+        assert_eq!(cache.len(), 0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn answer_cache_evicts_at_capacity() {
+        let db = tiny_db();
+        let stamp = DbStamp::of(&db);
+        let ans = Arc::new(AnswerSet {
+            vars: vec![],
+            rows: FxHashMap::default(),
+        });
+        let mut cache = AnswerCache::new(2);
+        for key in ["a", "b", "c"] {
+            cache.insert(key.into(), stamp, ans.clone());
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // "a" was least recently used.
+        assert!(cache.lookup("a", stamp).is_none());
+        assert!(cache.lookup("c", stamp).is_some());
+    }
+
+    #[test]
+    fn db_stamp_counts_cells_including_probabilities() {
+        let db = tiny_db();
+        let stamp = DbStamp::of(&db);
+        assert_eq!(stamp.relations, 1);
+        assert_eq!(stamp.cells, 2); // 1 row × (arity 1 + prob)
+    }
+}

@@ -1,0 +1,65 @@
+//! A minimal blocking client for the wire protocol — what the `lapush
+//! client` CLI subcommand, the integration tests, and the `fig_serve`
+//! bench drive the server with.
+
+use crate::protocol::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `lapush serve` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    // Buffered so each frame leaves in one `write(2)` — combined with
+    // TCP_NODELAY this keeps request latency free of Nagle/delayed-ACK
+    // stalls on the ~tens-of-bytes frames the protocol mostly carries.
+    writer: BufWriter<TcpStream>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Connect with retries `delay` apart — for scripts that race a
+    /// server still binding its listener.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        attempts: u32,
+        delay: Duration,
+    ) -> io::Result<Client> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(delay);
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connection attempts made")))
+    }
+
+    /// Send one request body and read the matching response body.
+    /// The server closing the stream instead of answering is an
+    /// [`io::ErrorKind::UnexpectedEof`] error.
+    pub fn request(&mut self, body: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, body)?;
+        read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}

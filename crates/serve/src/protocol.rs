@@ -1,0 +1,283 @@
+//! Wire protocol v1: framing, request grammar, response rendering.
+//!
+//! Both directions speak **length-prefixed UTF-8 frames**:
+//!
+//! ```text
+//! <decimal byte length of body>\n<body>
+//! ```
+//!
+//! The header is the body's byte length in ASCII decimal followed by one
+//! `\n`; the body is exactly that many bytes of UTF-8 text (which may
+//! itself contain newlines — multi-line commands like `INGEST` and
+//! multi-line responses like `QUERY` answers need no escaping). One
+//! request frame yields exactly one response frame, in order.
+//!
+//! A request body's first line starts with a command word (`QUERY`,
+//! `INGEST`, `STATS`, `PING`, `QUIT`). A response body's first line is
+//! either `OK …` or `ERR <CODE> <message>`; any further lines are
+//! command-specific payload. The human-readable spec with annotated
+//! example sessions lives in `docs/PROTOCOL.md`; this module is its
+//! executable counterpart and must stay in sync.
+
+use lapush_engine::AnswerSet;
+use lapush_storage::Value;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Version of the wire protocol implemented by this crate; reported by
+/// `STATS` as `proto.version`. Bump on any incompatible framing or
+/// grammar change (see `docs/PROTOCOL.md` for the compatibility policy).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one frame's body size (16 MiB). Guards the server
+/// against a bad length header committing it to an unbounded allocation.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Write one frame: decimal length header, `\n`, body, then flush (a
+/// frame is only useful to the peer once it is fully on the wire).
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    w.write_all(body.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); a malformed header, an over-`max` length, or EOF in
+/// the middle of a frame is an [`io::ErrorKind::InvalidData`] error.
+pub fn read_frame(r: &mut impl BufRead, max: usize) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim_end_matches('\n')
+        .parse()
+        .map_err(|_| invalid(format!("bad frame header {:?}", header.trim_end())))?;
+    if len > max {
+        return Err(invalid(format!("frame of {len} bytes exceeds cap {max}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| invalid("frame body is not UTF-8".into()))
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Machine-readable error class of an `ERR` response (the token between
+/// `ERR` and the message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unknown command word, or arguments that don't fit its grammar.
+    BadCommand,
+    /// `QUERY`: the query text did not parse as a sjfCQ.
+    Parse,
+    /// `QUERY`: evaluation failed (unknown relation, arity mismatch, …).
+    Exec,
+    /// `INGEST`: the rows were rejected (bad probability, ragged arity,
+    /// arity mismatch with an existing relation, …).
+    Ingest,
+}
+
+impl ErrorCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadCommand => "BADCMD",
+            ErrorCode::Parse => "PARSE",
+            ErrorCode::Exec => "EXEC",
+            ErrorCode::Ingest => "INGEST",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUERY <datalog>` — evaluate a query's propagation score.
+    Query {
+        /// The datalog text after the command word.
+        text: String,
+    },
+    /// `INGEST <relation>` + one CSV row per following line.
+    Ingest {
+        /// Target relation name.
+        relation: String,
+        /// The raw row lines (CSV, last column = probability).
+        rows: String,
+    },
+    /// `STATS` — cache and database counters.
+    Stats,
+    /// `QUIT` — polite connection close.
+    Quit,
+}
+
+/// Parse a request body. Errors are `(code, message)` pairs ready for
+/// [`err_response`].
+pub fn parse_request(body: &str) -> Result<Request, (ErrorCode, String)> {
+    let (first, rest) = match body.split_once('\n') {
+        Some((f, r)) => (f, r),
+        None => (body, ""),
+    };
+    let first = first.trim_end_matches('\r');
+    let (word, args) = match first.split_once(char::is_whitespace) {
+        Some((w, a)) => (w, a.trim()),
+        None => (first.trim(), ""),
+    };
+    let bare = |req: Request| {
+        if args.is_empty() && rest.trim().is_empty() {
+            Ok(req)
+        } else {
+            Err((ErrorCode::BadCommand, format!("{word} takes no arguments")))
+        }
+    };
+    match word {
+        "PING" => bare(Request::Ping),
+        "STATS" => bare(Request::Stats),
+        "QUIT" => bare(Request::Quit),
+        "QUERY" => {
+            if args.is_empty() || !rest.trim().is_empty() {
+                return Err((
+                    ErrorCode::BadCommand,
+                    "usage: QUERY <datalog query> (one line)".into(),
+                ));
+            }
+            Ok(Request::Query { text: args.into() })
+        }
+        "INGEST" => {
+            if args.is_empty() || args.split_whitespace().count() != 1 {
+                return Err((
+                    ErrorCode::BadCommand,
+                    "usage: INGEST <relation>, rows on following lines".into(),
+                ));
+            }
+            Ok(Request::Ingest {
+                relation: args.into(),
+                rows: rest.into(),
+            })
+        }
+        other => Err((
+            ErrorCode::BadCommand,
+            format!("unknown command `{other}` (expected QUERY, INGEST, STATS, PING, or QUIT)"),
+        )),
+    }
+}
+
+/// Render an `ERR` response body: `ERR <CODE> <message>`, message
+/// flattened to one line so the status line stays machine-parsable.
+pub fn err_response(code: ErrorCode, msg: &str) -> String {
+    let flat: String = msg
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {code} {}", flat.trim())
+}
+
+/// Render one answer key the way the `lapush` CLI does: values joined by
+/// `", "`, the Boolean query's empty tuple as `(true)`.
+pub fn render_key(key: &[Value]) -> String {
+    if key.is_empty() {
+        "(true)".to_string()
+    } else {
+        key.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Render a `QUERY` response body: `OK <n> answers`, then one
+/// `<key>\t<score>` line per answer in ranked (descending-score) order.
+///
+/// Scores use Rust's shortest round-trip float formatting, so the wire
+/// text preserves the answer's exact `f64` bits — "bit-identical to
+/// direct evaluation" is checkable from the outside.
+pub fn render_answers(ans: &AnswerSet) -> String {
+    let mut out = format!("OK {} answers", ans.len());
+    for (key, score) in ans.ranked() {
+        out.push('\n');
+        out.push_str(&render_key(&key));
+        out.push('\t');
+        out.push_str(&score.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "PING").unwrap();
+        write_frame(&mut wire, "INGEST R\n1,0.5\n2,0.25").unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), "PING");
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap().unwrap(),
+            "INGEST R\n1,0.5\n2,0.25"
+        );
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_rejected() {
+        let mut r = BufReader::new(&b"999\nabc"[..]);
+        // Honest header, truncated body: invalid, not silent EOF.
+        assert!(read_frame(&mut r, 10).is_err());
+        let mut r = BufReader::new(&b"nope\nabc"[..]);
+        assert!(read_frame(&mut r, 1024).is_err());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "QUERY too big").unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        assert!(read_frame(&mut r, 4).is_err());
+    }
+
+    #[test]
+    fn request_grammar() {
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("STATS\n"), Ok(Request::Stats));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert_eq!(
+            parse_request("QUERY q(x) :- R(x), S(x, y)"),
+            Ok(Request::Query {
+                text: "q(x) :- R(x), S(x, y)".into()
+            })
+        );
+        assert_eq!(
+            parse_request("INGEST R\n1,0.5\n2,0.5"),
+            Ok(Request::Ingest {
+                relation: "R".into(),
+                rows: "1,0.5\n2,0.5".into()
+            })
+        );
+        for bad in ["", "NOSUCH", "PING extra", "QUERY", "INGEST", "INGEST a b"] {
+            assert_eq!(
+                parse_request(bad).unwrap_err().0,
+                ErrorCode::BadCommand,
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn err_responses_are_one_status_line() {
+        let resp = err_response(ErrorCode::Parse, "line 1\nline 2");
+        assert_eq!(resp, "ERR PARSE line 1 line 2");
+        assert_eq!(resp.lines().count(), 1);
+    }
+}

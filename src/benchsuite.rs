@@ -94,6 +94,10 @@ pub const SUITE: &[SuiteRun] = &[
         bin: "ablation_schema",
         args: &[],
     },
+    SuiteRun {
+        bin: "fig_serve",
+        args: &[],
+    },
 ];
 
 /// Outcome of running the whole suite.
@@ -182,9 +186,10 @@ mod tests {
     #[test]
     fn suite_covers_all_experiment_binaries() {
         let bins: std::collections::BTreeSet<&str> = SUITE.iter().map(|r| r.bin).collect();
-        assert_eq!(bins.len(), 13, "13 distinct experiment binaries");
+        assert_eq!(bins.len(), 14, "14 distinct experiment binaries");
         assert!(bins.contains("fig2_counts"));
         assert!(bins.contains("ablation_schema"));
+        assert!(bins.contains("fig_serve"));
         // Multi-variant entries appear once per variant.
         assert_eq!(SUITE.iter().filter(|r| r.bin == "fig5_runtime").count(), 3);
         assert_eq!(SUITE.iter().filter(|r| r.bin == "fig5_tpch").count(), 3);

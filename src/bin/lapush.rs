@@ -28,8 +28,19 @@
 //!
 //! Compare the reports against committed baselines with the `bench-diff`
 //! binary (exits non-zero on regression).
+//!
+//! The `serve` subcommand runs the always-on query service (wire
+//! protocol in `docs/PROTOCOL.md`, operations guide in
+//! `docs/OPERATIONS.md`), and `client` drives one scripted session
+//! against it (requests read from stdin, blank-line separated):
+//!
+//! ```console
+//! $ lapush serve --data ./facts --bind 127.0.0.1:7878 --threads 2 &
+//! $ lapush client --addr 127.0.0.1:7878 < session.txt
+//! ```
 
 use lapushdb::prelude::*;
+use lapushdb::serve::{Client, Server, ServerConfig};
 use lapushdb::storage::{database_from_dir, CsvOptions};
 use lapushdb::{
     benchsuite, bound_answers_threaded, exact_answers, mc_answers_threaded, rank_by_dissociation,
@@ -45,13 +56,127 @@ fn arg(name: &str) -> Option<String> {
 }
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("bench") {
-        std::process::exit(run_bench());
+    match std::env::args().nth(1).as_deref() {
+        Some("bench") => std::process::exit(run_bench()),
+        Some("serve") => {
+            if let Err(e) = run_serve() {
+                eprintln!("lapush serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("client") => {
+            if let Err(e) = run_client() {
+                eprintln!("lapush client: {e}");
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            if let Err(e) = run() {
+                eprintln!("lapush: {e}");
+                std::process::exit(1);
+            }
+        }
     }
-    if let Err(e) = run() {
-        eprintln!("lapush: {e}");
-        std::process::exit(1);
+}
+
+/// `lapush serve [--data DIR] [--bind ADDR] [--threads N]
+/// [--plan-cache N] [--answer-cache N] [--no-probs]`: run the query
+/// service in the foreground until killed. See `docs/OPERATIONS.md`.
+fn run_serve() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig {
+        bind: arg("bind").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        ..ServerConfig::default()
+    };
+    if let Some(t) = arg("threads") {
+        config.threads = t
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or("--threads needs a positive integer")?;
     }
+    if let Some(n) = arg("plan-cache") {
+        config.plan_cache_cap = n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--plan-cache needs a positive integer")?;
+    }
+    if let Some(n) = arg("answer-cache") {
+        config.answer_cache_cap = n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--answer-cache needs a positive integer")?;
+    }
+    let db = match arg("data") {
+        Some(dir) => {
+            let opts = CsvOptions {
+                prob_column: arg("no-probs").is_none(),
+                deterministic: arg("no-probs").is_some(),
+            };
+            let db = database_from_dir(std::path::Path::new(&dir), opts)?;
+            eprintln!(
+                "loaded {} relations, {} tuples",
+                db.relation_count(),
+                db.tuple_count()
+            );
+            db
+        }
+        None => Database::new(),
+    };
+    let handle = Server::bind_with_db(db, config)?.spawn()?;
+    println!("lapush serve: listening on {}", handle.addr());
+    handle.join();
+    Ok(())
+}
+
+/// `lapush client --addr HOST:PORT [--retry N]`: read blank-line
+/// separated requests from stdin, print each response followed by a
+/// blank line. Protocol-level `ERR` responses are printed like any other
+/// response (scripts assert on them); only transport failures exit
+/// non-zero.
+fn run_client() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = arg("addr").ok_or("missing --addr HOST:PORT")?;
+    let retries: u32 = match arg("retry") {
+        Some(r) => r
+            .parse()
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or("--retry needs a positive integer")?,
+        None => 1,
+    };
+    let mut client = Client::connect_retry(
+        addr.as_str(),
+        retries,
+        std::time::Duration::from_millis(250),
+    )?;
+    let stdin = std::io::read_to_string(std::io::stdin())?;
+    for request in split_requests(&stdin) {
+        let response = client.request(&request)?;
+        println!("{response}\n");
+    }
+    Ok(())
+}
+
+/// Split a client script into request bodies: consecutive non-blank
+/// lines form one request; blank lines separate requests.
+fn split_requests(script: &str) -> Vec<String> {
+    let mut requests = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for line in script.lines() {
+        if line.trim().is_empty() {
+            if !current.is_empty() {
+                requests.push(current.join("\n"));
+                current.clear();
+            }
+        } else {
+            current.push(line);
+        }
+    }
+    if !current.is_empty() {
+        requests.push(current.join("\n"));
+    }
+    requests
 }
 
 /// `lapush bench [--quick|--full] [--out DIR] [--threads N]`: run the

@@ -42,6 +42,7 @@
 //! | [`query`] | sjfCQ AST + parser, hierarchy test, cut-sets, FD closure |
 //! | [`core`] | dissociations, Algorithm 1 (+DR/FD), hash-consed plan DAG, Opts 1–2 |
 //! | [`engine`] | extensional executor over plan ids, view reuse, semi-join reduction |
+//! | [`serve`] | always-on TCP query service: wire protocol, plan + answer caches |
 //! | [`lineage`] | lineage DNFs, exact WMC, Monte Carlo, Karp–Luby |
 //! | [`rank`] | tie-aware AP@k / MAP metrics |
 //! | [`workload`] | TPC-H-style, k-chain, k-star, random generators |
@@ -83,6 +84,7 @@ pub use lapush_engine as engine;
 pub use lapush_lineage as lineage;
 pub use lapush_query as query;
 pub use lapush_rank as rank;
+pub use lapush_serve as serve;
 pub use lapush_storage as storage;
 pub use lapush_workload as workload;
 

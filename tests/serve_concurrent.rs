@@ -1,0 +1,181 @@
+//! Integration tests for `lapush serve`: concurrent clients get answers
+//! bit-identical to direct `Database` evaluation, repeated queries hit
+//! the caches, and ingest between repeated queries invalidates the
+//! answer cache.
+
+use lapushdb::prelude::*;
+use lapushdb::serve::{render_answers, stat, Client, Server, ServerConfig};
+use lapushdb::{rank_by_dissociation, RankOptions};
+
+/// The RST database of the crate docs, slightly enlarged so the #P-hard
+/// 3-chain query has several answers.
+fn rst_db() -> Database {
+    let mut db = Database::new();
+    let r = db.create_relation("R", 1).unwrap();
+    let s = db.create_relation("S", 2).unwrap();
+    let t = db.create_relation("T", 1).unwrap();
+    for x in 1..=4i64 {
+        db.relation_mut(r)
+            .push(Box::new([Value::Int(x)]), 0.3 + 0.1 * x as f64)
+            .unwrap();
+        db.relation_mut(t)
+            .push(Box::new([Value::Int(x)]), 0.9 - 0.1 * x as f64)
+            .unwrap();
+    }
+    for (x, y) in [(1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 4), (4, 1)] {
+        db.relation_mut(s)
+            .push(Box::new([Value::Int(x), Value::Int(y)]), 0.5)
+            .unwrap();
+    }
+    db
+}
+
+/// What the server must answer for `q`: the propagation score under
+/// Optimizations 1+2 (the server's evaluation mode), rendered through the
+/// same wire formatter. Scores print with shortest-round-trip `f64`
+/// formatting, so string equality is bit-for-bit float equality.
+fn expected_response(db: &Database, query: &str) -> String {
+    let q = parse_query(query).unwrap();
+    let ans = rank_by_dissociation(db, &q, RankOptions::default()).unwrap();
+    render_answers(&ans)
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers_and_cache_hits() {
+    let db = rst_db();
+    let handle = Server::bind_with_db(db.clone(), ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    let queries = [
+        "q(x) :- R(x), S(x, y), T(y)",
+        "q :- R(x), S(x, y), T(y)",
+        "q(y) :- S(2, y), T(y)",
+    ];
+    let expected: Vec<String> = queries.iter().map(|q| expected_response(&db, q)).collect();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 8;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    // Overlapping repeated queries: every client cycles
+                    // through all of them, phase-shifted per client.
+                    let i = (c + round) % queries.len();
+                    let got = client.request(&format!("QUERY {}", queries[i])).unwrap();
+                    assert_eq!(got, expected[i], "client {c} round {round}");
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.request("STATS").unwrap();
+    assert!(stats.starts_with("OK stats"));
+    let served = stat(&stats, "queries.served").unwrap();
+    assert_eq!(served as usize, CLIENTS * ROUNDS);
+    // 32 requests over 3 distinct queries: almost all are answer-cache
+    // hits (a race on a cold key can at most recompute once per client).
+    let hits = stat(&stats, "answer_cache.hits").unwrap();
+    assert!(
+        hits as usize >= CLIENTS * ROUNDS - CLIENTS * queries.len(),
+        "expected overwhelmingly cache-hit traffic, got {hits} hits of {served}"
+    );
+    assert!(stat(&stats, "answer_cache.invalidations") == Some(0));
+    // The plan cache is consulted only on answer misses; the two 3-chain
+    // queries share relations but differ in head, so shapes are distinct.
+    assert!(stat(&stats, "plan_cache.misses").unwrap() <= queries.len() as u64);
+    assert_eq!(stat(&stats, "proto.version"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_between_repeated_queries_invalidates_answers() {
+    let db = rst_db();
+    let handle = Server::bind_with_db(db.clone(), ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let query = "QUERY q(x) :- R(x), S(x, y), T(y)";
+    let before = client.request(query).unwrap();
+    assert_eq!(
+        before,
+        expected_response(&db, "q(x) :- R(x), S(x, y), T(y)")
+    );
+    // Repeat: answer-cache hit, same bytes.
+    assert_eq!(client.request(query).unwrap(), before);
+
+    // Ingest must change the answers (a fresh x=5 chain with p=1 tuples
+    // scores 0.5 through S and outranks every existing answer).
+    let resp = client.request("INGEST R\n5,1.0").unwrap();
+    assert_eq!(resp, "OK ingested 1 tuples into R (total 5)");
+    client.request("INGEST S\n5,5,0.5").unwrap();
+    client.request("INGEST T\n5,1.0").unwrap();
+
+    let after = client.request(query).unwrap();
+    assert_ne!(after, before, "ingest must invalidate the cached answer");
+    let mut grown = db.clone();
+    grown
+        .relation_mut(0)
+        .push(Box::new([Value::Int(5)]), 1.0)
+        .unwrap();
+    grown
+        .relation_mut(1)
+        .push(Box::new([Value::Int(5), Value::Int(5)]), 0.5)
+        .unwrap();
+    grown
+        .relation_mut(2)
+        .push(Box::new([Value::Int(5)]), 1.0)
+        .unwrap();
+    assert_eq!(
+        after,
+        expected_response(&grown, "q(x) :- R(x), S(x, y), T(y)")
+    );
+
+    let stats = client.request("STATS").unwrap();
+    assert_eq!(stat(&stats, "answer_cache.invalidations"), Some(1));
+    // Shape unchanged: the re-query after ingest was a plan-cache hit.
+    assert_eq!(stat(&stats, "plan_cache.misses"), Some(1));
+    assert_eq!(stat(&stats, "plan_cache.hits"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_errors_and_new_relations() {
+    let handle = Server::bind(ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    let err = client.request("NOSUCH").unwrap();
+    assert!(err.starts_with("ERR BADCMD "), "{err}");
+    let err = client.request("QUERY q(x :-").unwrap();
+    assert!(err.starts_with("ERR PARSE "), "{err}");
+    let err = client.request("QUERY q(x) :- Missing(x)").unwrap();
+    assert!(err.starts_with("ERR EXEC "), "{err}");
+    let err = client.request("INGEST R\n1,notaprob").unwrap();
+    assert!(err.starts_with("ERR INGEST "), "{err}");
+
+    // INGEST creates relations on first use; arity mismatches are refused.
+    assert_eq!(
+        client.request("INGEST R\n1,0.5\n2,0.25").unwrap(),
+        "OK ingested 2 tuples into R (total 2)"
+    );
+    let err = client.request("INGEST R\n1,2,0.5").unwrap();
+    assert!(err.starts_with("ERR INGEST arity mismatch"), "{err}");
+
+    let ans = client.request("QUERY q(x) :- R(x)").unwrap();
+    assert_eq!(ans, "OK 2 answers\n1\t0.5\n2\t0.25");
+
+    assert_eq!(client.request("QUIT").unwrap(), "OK bye");
+    handle.shutdown();
+}
