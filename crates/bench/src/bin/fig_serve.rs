@@ -15,10 +15,17 @@
 //! all cache hits no matter how client threads interleave — counters and
 //! response checksums are identical at any `--threads` value, which is
 //! exactly what the `bench-diff --cross-threads` determinism gate checks.
+//!
+//! The concurrent client drivers run as tasks on the engine's persistent
+//! work-stealing pool (`lapushdb::engine::pool`), sized by the *client*
+//! count — so the gated pool-counter deltas (`pool_scopes`, `pool_tasks`)
+//! are one engaged scope and one task per client, independent of
+//! `--threads` and of scheduling.
 
 use lapush_bench::report::Metric;
 use lapush_bench::{arg, checksum_strings, ms, print_table, scale, threads, time, Bench, Scale};
 use lapush_serve::{stat, Client, Server, ServerConfig};
+use lapushdb::engine::pool;
 use lapushdb::workload::{chain_db, chain_query, find_chain_domain};
 use std::time::Instant;
 
@@ -96,32 +103,35 @@ fn main() {
 
     // Timed concurrent phase: every request is an answer-cache hit, so
     // this measures the steady-state serving path (framing + lookup +
-    // render) rather than plan enumeration or evaluation.
+    // render) rather than plan enumeration or evaluation. The drivers are
+    // pool tasks (one per client); the server does no evaluation in this
+    // phase, so the pool-counter deltas around it are exactly the
+    // driver's own scope.
+    let pool_before = pool::counters();
     let (mut latencies, phase_wall) = time(|| {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|c| {
-                    let queries = &queries;
-                    scope.spawn(move || {
-                        let mut client = Client::connect(addr).expect("connect");
-                        let mut lat = Vec::with_capacity(reqs);
-                        for r in 0..reqs {
-                            let q = &queries[(c + r) % queries.len()];
-                            let t0 = Instant::now();
-                            let resp = client.request(&format!("QUERY {q}")).expect("query");
-                            lat.push(ms(t0.elapsed()));
-                            debug_assert!(resp.starts_with("OK "), "{resp}");
-                        }
-                        lat
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("client thread"))
-                .collect::<Vec<f64>>()
-        })
+        let tasks: Vec<_> = (0..clients)
+            .map(|c| {
+                let queries = &queries;
+                move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(reqs);
+                    for r in 0..reqs {
+                        let q = &queries[(c + r) % queries.len()];
+                        let t0 = Instant::now();
+                        let resp = client.request(&format!("QUERY {q}")).expect("query");
+                        lat.push(ms(t0.elapsed()));
+                        debug_assert!(resp.starts_with("OK "), "{resp}");
+                    }
+                    lat
+                }
+            })
+            .collect();
+        pool::run_scope(clients, tasks)
+            .into_iter()
+            .flatten()
+            .collect::<Vec<f64>>()
     });
+    let pool_after = pool::counters();
     latencies.sort_by(|a, b| a.total_cmp(b));
     let total = clients * reqs;
     let p50 = percentile(&latencies, 0.50);
@@ -164,6 +174,21 @@ fn main() {
         bench.push(Metric::value(key.replace('.', "_"), counter(key) as f64));
     }
     let hit_rate = answer_hits as f64 / served as f64;
+
+    // Gate the execution-pool counters exactly, as deltas around the
+    // concurrent phase: the drivers submit one pool scope of one task per
+    // client, and the all-hits server does no evaluation — so the deltas
+    // are workload-determined, identical at every `--threads` value.
+    // (`inline`/`steals` are scheduling-dependent and deliberately not
+    // reported; see `lapushdb::engine::pool`.)
+    let pool_scopes = pool_after.scopes - pool_before.scopes;
+    let pool_tasks = pool_after.tasks - pool_before.tasks;
+    // A single client takes `run_scope`'s serial fast path: no engagement.
+    let (want_scopes, want_tasks) = if clients >= 2 { (1, clients) } else { (0, 0) };
+    assert_eq!(pool_scopes, want_scopes, "unexpected pool engagement");
+    assert_eq!(pool_tasks as usize, want_tasks);
+    bench.push(Metric::value("pool_scopes", pool_scopes as f64));
+    bench.push(Metric::value("pool_tasks", pool_tasks as f64));
 
     print_table(
         "lapush serve: concurrent client mix",

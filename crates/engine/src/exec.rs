@@ -9,11 +9,11 @@
 //! the hash-map engine; only the intermediate representation changed.
 //!
 //! Evaluation is optionally parallel ([`ExecOptions::threads`]): operators
-//! partition large batches into key-range morsels on scoped threads, and
+//! partition large batches into key-range morsels run as pool tasks, and
 //! [`propagation_score_ids`] additionally parallelizes its embarrassingly
 //! parallel outer loop — the minimal-plan roots — after a serial pre-pass
 //! has evaluated every memo-shared subplan once. Results are bit-identical
-//! at every thread count; `threads: 1` (the default) never spawns.
+//! at every thread count; `threads: 1` (the default) never touches the pool.
 
 use crate::prepare::{prepare_atoms, PrepareError, PreparedAtom, ScanShape};
 use crate::rel::{
@@ -54,10 +54,11 @@ pub struct ExecOptions {
     /// single plan (sound for plans produced by `lapush_core::single_plan`,
     /// whose equal subquery keys denote equal subplans).
     pub reuse_views: bool,
-    /// Morsel-parallelism budget: maximum worker threads an evaluation may
-    /// use (`std::thread::scope`, no pool). `1` — the default — is fully
-    /// serial and never spawns. Any value produces bit-identical results;
-    /// see [`crate::rel`].
+    /// Morsel-parallelism budget: maximum concurrent tasks an evaluation
+    /// may run on the process-wide work-stealing pool ([`crate::pool`]),
+    /// which also sizes the pool's lazily-spawned worker set. `1` — the
+    /// default — is fully serial and never touches the pool. Any value
+    /// produces bit-identical results; see [`crate::rel`].
     pub threads: usize,
 }
 
@@ -238,7 +239,7 @@ pub fn eval_plan_id(
 
 /// Evaluation results are shared, not copied: memo hits (scans, reused
 /// views) hand out another reference to the same relation. `Arc`, not
-/// `Rc`: the memo crosses scoped-thread boundaries in the parallel outer
+/// `Rc`: the memo crosses task boundaries in the parallel outer
 /// loop of [`propagation_score_ids`].
 type ShRel = Arc<Rel>;
 
@@ -435,7 +436,7 @@ pub fn propagation_score(
 /// With `opts.threads > 1` the plan roots are evaluated in parallel: a
 /// serial pre-pass first evaluates every subplan reachable from two or
 /// more roots (exactly the nodes the shared memo would deduplicate), then
-/// the roots are chunked across scoped threads, each with a read-only view
+/// the roots are chunked across pool tasks, each with a read-only view
 /// of the pre-computed memo. Per-root results are folded with
 /// [`min_into_par`] in root order, so the answer is bit-identical to the
 /// serial evaluation.
@@ -478,33 +479,27 @@ pub fn propagation_score_ids(
         eval_node(db, &prepared, q, store, id, opts, &mut ctx)?;
     }
 
-    // Parallel outer loop: contiguous root chunks on scoped threads, each
+    // Parallel outer loop: contiguous root chunks become pool tasks, each
     // with its own context seeded from the shared memo (Arc clones). Nodes
     // outside the pre-pass are by construction reachable from exactly one
-    // root, so no work is repeated across threads.
+    // root, so no work is repeated across tasks.
     let chunk_len = roots.len().div_ceil(threads);
-    let chunks: Vec<&[PlanId]> = roots.chunks(chunk_len).collect();
     let prepared_ref = &prepared;
     let memo_ref = &ctx.memo;
-    let evaluated: Vec<Result<Vec<ShRel>, ExecError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || -> Result<Vec<ShRel>, ExecError> {
-                    let mut local = EvalCtx::new(true, Par::serial());
-                    local.memo = memo_ref.clone();
-                    chunk
-                        .iter()
-                        .map(|&root| eval_node(db, prepared_ref, q, store, root, opts, &mut local))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation thread panicked"))
-            .collect()
-    });
+    let tasks: Vec<_> = roots
+        .chunks(chunk_len)
+        .map(|chunk| {
+            move || -> Result<Vec<ShRel>, ExecError> {
+                let mut local = EvalCtx::new(true, Par::serial());
+                local.memo = memo_ref.clone();
+                chunk
+                    .iter()
+                    .map(|&root| eval_node(db, prepared_ref, q, store, root, opts, &mut local))
+                    .collect()
+            }
+        })
+        .collect();
+    let evaluated: Vec<Result<Vec<ShRel>, ExecError>> = crate::pool::run_scope(threads, tasks);
     let mut per_root: Vec<ShRel> = Vec::with_capacity(roots.len());
     for chunk in evaluated {
         per_root.extend(chunk?);

@@ -40,8 +40,9 @@
 //!
 //! Execution is optionally parallel ([`exec::ExecOptions::threads`],
 //! default 1 = strictly serial): operators partition large batches into
-//! key-range morsels on scoped threads, and [`propagation_score`]'s outer
-//! loop over minimal-plan roots runs in parallel after a serial pre-pass
+//! key-range morsels submitted as tasks to a persistent work-stealing
+//! pool ([`pool`]), and [`propagation_score`]'s outer loop over
+//! minimal-plan roots runs in parallel after a serial pre-pass
 //! has evaluated every memo-shared subplan once. Results are
 //! **bit-identical at every thread count** — morsels never split a group
 //! and are concatenated in key order, so the parallel evaluation computes
@@ -87,6 +88,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod exec;
+pub mod pool;
 pub mod prepare;
 pub mod rel;
 pub mod semijoin;

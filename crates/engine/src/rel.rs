@@ -27,8 +27,9 @@
 //! Every operator has a `*_par` form taking a [`Par`]: large batches are
 //! partitioned into contiguous morsels — by position for sorts and scans,
 //! by key range (never splitting a group or join block) for merges and
-//! folds — and the morsels run on scoped threads (`std::thread::scope`;
-//! zero dependencies). Results are **bit-identical at every thread
+//! folds — and the morsels are submitted as tasks to the persistent
+//! work-stealing pool ([`crate::pool::run_scope`]; zero dependencies,
+//! no per-operator thread spawns). Results are **bit-identical at every thread
 //! count**: morsel outputs are concatenated in partition order, a group's
 //! fold never straddles a morsel, and the sorted order is a total order
 //! (ties broken by row index), so the parallel plan computes literally the
@@ -46,10 +47,10 @@ use lapush_storage::{RowKey, Vid};
 ///
 /// `threads == 1` (the default) is fully serial. Operators only engage
 /// threads for batches of at least [`MIN_PAR_ROWS`] rows, so small
-/// intermediates never pay spawn overhead.
+/// intermediates never pay task-queueing overhead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Par {
-    /// Maximum scoped threads an operator may use (≥ 1).
+    /// Maximum concurrent pool tasks an operator may use (≥ 1).
     pub threads: usize,
 }
 
@@ -83,8 +84,8 @@ impl Default for Par {
 }
 
 /// Batches below this many rows run serially even when threads are
-/// available: scoped-thread spawn costs tens of microseconds, which only
-/// amortizes over reasonably large morsels.
+/// available: queueing and waking pool workers costs microseconds, which
+/// only amortizes over reasonably large morsels.
 pub const MIN_PAR_ROWS: usize = 8192;
 
 /// Reusable sort scratch: the packed-key buffers behind every key sort.
@@ -309,19 +310,19 @@ fn sort_rows(cols: &[&[Vid]], n: usize, presorted: bool, par: Par, keys: &mut Ve
         keys.resize(n, (0, 0));
         let mut rest: &mut [(u128, u32)] = keys;
         let mut start = 0usize;
-        std::thread::scope(|s| {
-            for (lo, hi) in chunk_ranges(n, morsels) {
-                let (chunk, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                debug_assert_eq!(lo, start);
-                start = hi;
-                s.spawn(move || {
-                    for (slot, i) in chunk.iter_mut().zip(lo as u32..hi as u32) {
-                        *slot = (pack4(cols, i, 0), i);
-                    }
-                });
-            }
-        });
+        let mut tasks = Vec::with_capacity(morsels);
+        for (lo, hi) in chunk_ranges(n, morsels) {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            debug_assert_eq!(lo, start);
+            start = hi;
+            tasks.push(move || {
+                for (slot, i) in chunk.iter_mut().zip(lo as u32..hi as u32) {
+                    *slot = (pack4(cols, i, 0), i);
+                }
+            });
+        }
+        crate::pool::run_scope(par.threads, tasks);
     }
     if presorted {
         return;
@@ -391,8 +392,8 @@ fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Parallel unstable sort: sort contiguous chunks on scoped threads, then
-/// merge run pairs (also on scoped threads) until one run remains. The
+/// Parallel unstable sort: sort contiguous chunks as pool tasks, then
+/// merge run pairs (also pool tasks) until one run remains. The
 /// element order is total for our `(key, row)` pairs, so the result is the
 /// unique sorted sequence — identical at every thread count.
 fn par_sort<T: Copy + Ord + Send + Sync>(v: &mut Vec<T>, par: Par) {
@@ -405,13 +406,13 @@ fn par_sort<T: Copy + Ord + Send + Sync>(v: &mut Vec<T>, par: Par) {
     let mut runs = chunk_ranges(n, morsels);
     {
         let mut rest: &mut [T] = v;
-        std::thread::scope(|s| {
-            for &(lo, hi) in &runs {
-                let (chunk, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
-                s.spawn(move || chunk.sort_unstable());
-            }
-        });
+        let mut tasks = Vec::with_capacity(runs.len());
+        for &(lo, hi) in &runs {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            tasks.push(move || chunk.sort_unstable());
+        }
+        crate::pool::run_scope(par.threads, tasks);
     }
     let mut buf: Vec<T> = v.clone();
     let mut src_is_v = true;
@@ -423,29 +424,26 @@ fn par_sort<T: Copy + Ord + Send + Sync>(v: &mut Vec<T>, par: Par) {
         };
         let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
         let mut rest: &mut [T] = dst;
-        std::thread::scope(|s| {
-            let mut i = 0;
-            while i < runs.len() {
-                if i + 1 < runs.len() {
-                    let (a0, a1) = runs[i];
-                    let (b0, b1) = runs[i + 1];
-                    debug_assert_eq!(a1, b0);
-                    let (out, tail) = rest.split_at_mut(b1 - a0);
-                    rest = tail;
-                    let (left, right) = (&src[a0..a1], &src[b0..b1]);
-                    s.spawn(move || merge_into(left, right, out));
-                    next_runs.push((a0, b1));
-                    i += 2;
-                } else {
-                    let (a0, a1) = runs[i];
-                    let (out, tail) = rest.split_at_mut(a1 - a0);
-                    rest = tail;
-                    out.copy_from_slice(&src[a0..a1]);
-                    next_runs.push((a0, a1));
-                    i += 1;
-                }
-            }
-        });
+        let mut tasks = Vec::with_capacity(next_runs.capacity());
+        let mut i = 0;
+        while i < runs.len() {
+            // Pair up adjacent runs; an odd tail run merges with an empty
+            // right side, which degenerates to a copy.
+            let (a0, a1) = runs[i];
+            let (b0, b1) = if i + 1 < runs.len() {
+                runs[i + 1]
+            } else {
+                (a1, a1)
+            };
+            debug_assert_eq!(a1, b0);
+            let (out, tail) = rest.split_at_mut(b1 - a0);
+            rest = tail;
+            let (left, right) = (&src[a0..a1], &src[b0..b1]);
+            tasks.push(move || merge_into(left, right, out));
+            next_runs.push((a0, b1));
+            i += 2;
+        }
+        crate::pool::run_scope(par.threads, tasks);
         runs = next_runs;
         src_is_v = !src_is_v;
     }
@@ -485,7 +483,7 @@ pub fn join(left: &Rel, right: &Rel) -> Rel {
 /// column prefix — the canonical sort then already is key order), matching
 /// key blocks are enumerated by a linear merge, and the cross product of
 /// each block pair is emitted. Large outputs are partitioned by key range
-/// (whole blocks, never splitting one) across scoped threads writing
+/// (whole blocks, never splitting one) across pool tasks writing
 /// disjoint output ranges.
 pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel {
     left.assert_canonical();
@@ -602,34 +600,34 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
         let mut col_rests: Vec<&mut [Vid]> =
             out_cols.iter_mut().map(|c| c.as_mut_slice()).collect();
         let mut score_rest: &mut [f64] = &mut out_scores;
-        std::thread::scope(|s| {
-            for w in cuts.windows(2) {
-                let (b0, b1) = (w[0], w[1]);
-                if b0 == b1 {
-                    continue;
-                }
-                let base = blocks[b0].out;
-                let end = blocks.get(b1).map_or(m, |b| b.out);
-                let take = end - base;
-                let mut outs: Vec<&mut [Vid]> = Vec::with_capacity(col_rests.len());
-                col_rests = col_rests
-                    .into_iter()
-                    .map(|r| {
-                        let (a, b) = r.split_at_mut(take);
-                        outs.push(a);
-                        b
-                    })
-                    .collect();
-                let (sc, tail) = score_rest.split_at_mut(take);
-                score_rest = tail;
-                let chunk = &blocks[b0..b1];
-                let fill = &fill;
-                s.spawn(move || {
-                    let mut outs = outs;
-                    fill(chunk, &mut outs, sc, base);
-                });
+        let mut tasks = Vec::with_capacity(cuts.len());
+        for w in cuts.windows(2) {
+            let (b0, b1) = (w[0], w[1]);
+            if b0 == b1 {
+                continue;
             }
-        });
+            let base = blocks[b0].out;
+            let end = blocks.get(b1).map_or(m, |b| b.out);
+            let take = end - base;
+            let mut outs: Vec<&mut [Vid]> = Vec::with_capacity(col_rests.len());
+            col_rests = col_rests
+                .into_iter()
+                .map(|r| {
+                    let (a, b) = r.split_at_mut(take);
+                    outs.push(a);
+                    b
+                })
+                .collect();
+            let (sc, tail) = score_rest.split_at_mut(take);
+            score_rest = tail;
+            let chunk = &blocks[b0..b1];
+            let fill = &fill;
+            tasks.push(move || {
+                let mut outs = outs;
+                fill(chunk, &mut outs, sc, base);
+            });
+        }
+        crate::pool::run_scope(par.threads, tasks);
     }
 
     let mut out = Rel {
@@ -825,13 +823,13 @@ fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &m
             .windows(2)
             .map(|_| (vec![Vec::new(); keep.len()], Vec::new()))
             .collect();
-        std::thread::scope(|s| {
-            for (w, part) in bounds.windows(2).zip(parts.iter_mut()) {
-                let (lo, hi) = (w[0], w[1]);
-                let run_fold = &run_fold;
-                s.spawn(move || run_fold(lo, hi, &mut part.0, &mut part.1));
-            }
-        });
+        let mut tasks = Vec::with_capacity(parts.len());
+        for (w, part) in bounds.windows(2).zip(parts.iter_mut()) {
+            let (lo, hi) = (w[0], w[1]);
+            let run_fold = &run_fold;
+            tasks.push(move || run_fold(lo, hi, &mut part.0, &mut part.1));
+        }
+        crate::pool::run_scope(par.threads, tasks);
         // Concatenate morsel outputs in key order.
         let mut out_cols: Vec<Vec<Vid>> = vec![Vec::new(); keep.len()];
         let mut out_scores: Vec<f64> = Vec::new();

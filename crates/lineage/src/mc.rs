@@ -49,9 +49,10 @@ pub fn monte_carlo(dnf: &Dnf, probs: &[f64], samples: usize, seed: u64) -> f64 {
 /// (wrapping), exactly like the serial per-answer loop of the drivers —
 /// answers are independent, so the work is embarrassingly parallel and the
 /// returned estimates are **bit-identical at every thread count**. With
-/// `threads <= 1` no thread is spawned; otherwise the answers are cut into
-/// contiguous chunks across `std::thread::scope` workers and the chunk
-/// results are concatenated in answer order.
+/// `threads <= 1` the loop stays on the calling thread; otherwise the
+/// answers are cut into contiguous chunks submitted to the process-wide
+/// work-stealing pool (`lapush_engine::pool`) and the chunk results are
+/// concatenated in answer order.
 pub fn monte_carlo_each(
     dnfs: &[&Dnf],
     probs: &[f64],
@@ -66,26 +67,22 @@ pub fn monte_carlo_each(
         return dnfs.iter().enumerate().map(|(i, d)| one(i, d)).collect();
     }
     let chunk_len = dnfs.len().div_ceil(threads.max(1));
-    let parts: Vec<Vec<f64>> = std::thread::scope(|s| {
-        let handles: Vec<_> = dnfs
-            .chunks(chunk_len)
-            .enumerate()
-            .map(|(ci, chunk)| {
-                let base = ci * chunk_len;
-                s.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(i, d)| one(base + i, d))
-                        .collect::<Vec<f64>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sampling thread panicked"))
-            .collect()
-    });
+    let one = &one;
+    let tasks: Vec<_> = dnfs
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let base = ci * chunk_len;
+            move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| one(base + i, d))
+                    .collect::<Vec<f64>>()
+            }
+        })
+        .collect();
+    let parts: Vec<Vec<f64>> = lapush_engine::pool::run_scope(threads, tasks);
     parts.into_iter().flatten().collect()
 }
 

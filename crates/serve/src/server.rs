@@ -105,8 +105,11 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Start accepting connections on a background thread.
+    /// Start accepting connections on a background thread. Prewarms the
+    /// process-wide execution pool to the configured `threads` budget so
+    /// the first parallel query does not pay worker spawns.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        lapush_engine::pool::prewarm(self.shared.threads);
         let addr = self.local_addr()?;
         let shared = self.shared.clone();
         let accept = thread::spawn(move || {
@@ -342,11 +345,20 @@ fn render_stats(shared: &Shared) -> String {
             s.hits, s.misses, s.evictions, s.invalidations
         )
     };
+    // Execution-pool counters are process-wide (shared with any other
+    // server or engine call in this process) and cumulative since process
+    // start. `scopes`/`tasks` are workload-determined; `inline`/`steals`
+    // depend on scheduling and are informational only.
+    let pool = lapush_engine::pool::counters();
     format!(
-        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}",
+        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}",
         shared.queries_served.load(Ordering::SeqCst),
         cache_lines("plan_cache", plan_stats, plan_len),
         cache_lines("answer_cache", ans_stats, ans_len),
+        pool.scopes,
+        pool.tasks,
+        pool.inline,
+        pool.steals,
     )
 }
 

@@ -14,6 +14,10 @@
 //! 2. **Across thread counts** — `threads: 1` vs `threads: 4` answers
 //!    must be *bit-identical* (not approximately equal) on chain, star,
 //!    and TPC-H workloads: morsel parallelism may never change a float.
+//! 3. **At the scheduler itself** — randomized task DAGs (nested
+//!    fan-outs of uneven tasks) through [`pool::run_scope`] must return
+//!    results identical, element for element, to serial recursive
+//!    execution at every worker count, oversubscribed included.
 //!
 //! Scores against the hash-map reference are compared to within `1e-12`
 //! rather than bitwise: the columnar engine folds projection groups in
@@ -21,6 +25,7 @@
 //! order, which legitimately reassociates the floating-point products.
 
 use lapushdb::core::{minimal_plans, Plan, PlanKind};
+use lapushdb::engine::pool;
 use lapushdb::engine::{deterministic_answers_par, eval_plan, AnswerSet, ExecOptions, Semantics};
 use lapushdb::prelude::*;
 use lapushdb::workload::{
@@ -475,5 +480,73 @@ fn thread_counts_agree_on_chain_star_tpch() {
         let mc1 = mc_answers_threaded(&db, &q, 200, 7, 1).expect("mc serial");
         let mc4 = mc_answers_threaded(&db, &q, 200, 7, 4).expect("mc t4");
         assert_bitwise(&mc4, &mc1, &format!("{name} mc"));
+    }
+}
+
+/// Deterministic per-task workload for the scheduler property test: a
+/// node-dependent spin plus arithmetic mixing, so tasks finish in
+/// scrambled wall-clock order while the value depends only on the inputs.
+fn task_value(seed: u64, node: u64) -> u64 {
+    let mut h = seed ^ node.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..(node % 7) * 50 {
+        h = h.rotate_left(13).wrapping_mul(31).wrapping_add(node);
+    }
+    h
+}
+
+/// Serial reference: the task DAG evaluated by plain recursion, no pool.
+fn dag_serial(seed: u64, depth: u32, fanout: u64) -> Vec<u64> {
+    (0..fanout)
+        .map(|node| {
+            let v = task_value(seed, node);
+            if depth == 0 {
+                v
+            } else {
+                dag_serial(seed ^ node.wrapping_add(1), depth - 1, fanout)
+                    .into_iter()
+                    .fold(v, u64::wrapping_add)
+            }
+        })
+        .collect()
+}
+
+/// The same DAG on the pool: every level is one `run_scope` fan-out, and
+/// inner levels submit *from inside pool tasks* (nested submission — the
+/// case that must neither deadlock nor reorder results).
+fn dag_pooled(threads: usize, seed: u64, depth: u32, fanout: u64) -> Vec<u64> {
+    let tasks: Vec<_> = (0..fanout)
+        .map(|node| {
+            move || {
+                let v = task_value(seed, node);
+                if depth == 0 {
+                    v
+                } else {
+                    dag_pooled(threads, seed ^ node.wrapping_add(1), depth - 1, fanout)
+                        .into_iter()
+                        .fold(v, u64::wrapping_add)
+                }
+            }
+        })
+        .collect();
+    pool::run_scope(threads, tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// [`pool::run_scope`] returns results in submission order: for
+    /// randomized task DAGs its output equals serial recursive execution
+    /// at every worker count, including counts far above the machine's
+    /// cores and fan-outs below/above the worker count.
+    #[test]
+    fn pool_run_scope_matches_serial_execution(
+        seed in 0u64..1_000_000,
+        depth in 0u32..3,
+        fanout in 1u64..9,
+        threads in 2usize..9,
+    ) {
+        let expected = dag_serial(seed, depth, fanout);
+        let got = dag_pooled(threads, seed, depth, fanout);
+        prop_assert_eq!(got, expected);
     }
 }

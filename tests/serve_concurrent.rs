@@ -3,6 +3,7 @@
 //! the caches, and ingest between repeated queries invalidates the
 //! answer cache.
 
+use lapushdb::engine::pool;
 use lapushdb::prelude::*;
 use lapushdb::serve::{render_answers, stat, Client, Server, ServerConfig};
 use lapushdb::{rank_by_dissociation, RankOptions};
@@ -58,10 +59,10 @@ fn concurrent_clients_get_bit_identical_answers_and_cache_hits() {
 
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 8;
-    std::thread::scope(|scope| {
-        for c in 0..CLIENTS {
+    let tasks: Vec<_> = (0..CLIENTS)
+        .map(|c| {
             let expected = &expected;
-            scope.spawn(move || {
+            move || {
                 let mut client = Client::connect(addr).unwrap();
                 for round in 0..ROUNDS {
                     // Overlapping repeated queries: every client cycles
@@ -70,9 +71,10 @@ fn concurrent_clients_get_bit_identical_answers_and_cache_hits() {
                     let got = client.request(&format!("QUERY {}", queries[i])).unwrap();
                     assert_eq!(got, expected[i], "client {c} round {round}");
                 }
-            });
-        }
-    });
+            }
+        })
+        .collect();
+    pool::run_scope(CLIENTS, tasks);
 
     let mut client = Client::connect(addr).unwrap();
     let stats = client.request("STATS").unwrap();
@@ -91,6 +93,13 @@ fn concurrent_clients_get_bit_identical_answers_and_cache_hits() {
     // queries share relations but differ in head, so shapes are distinct.
     assert!(stat(&stats, "plan_cache.misses").unwrap() <= queries.len() as u64);
     assert_eq!(stat(&stats, "proto.version"), Some(1));
+    // Pool counters are process-global (this very test's client drivers
+    // engaged the pool), so only conservation is asserted, not values.
+    let pool_tasks = stat(&stats, "pool.tasks").expect("STATS reports pool.tasks");
+    let pool_scopes = stat(&stats, "pool.scopes").expect("STATS reports pool.scopes");
+    assert!(pool_scopes >= 1 && pool_tasks >= CLIENTS as u64);
+    let helped = stat(&stats, "pool.inline").unwrap() + stat(&stats, "pool.steals").unwrap();
+    assert!(helped <= pool_tasks, "helpers can only run submitted tasks");
     handle.shutdown();
 }
 
