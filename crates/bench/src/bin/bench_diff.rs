@@ -22,7 +22,10 @@
 //! different `--threads` counts are refused unless `--cross-threads` is
 //! passed — that mode is the determinism gate: checksums and values are
 //! still compared exactly, proving a parallel run computed bit-identical
-//! results to the serial one.
+//! results to the serial one. Reports produced on different SIMD kernel
+//! paths (`kernels_path` param, from `LAPUSH_KERNELS` / auto-dispatch)
+//! are likewise refused unless `--cross-kernels` is passed — the kernel
+//! determinism gate, same exact-checksum discipline.
 
 use lapush_bench::diff::{diff_sets, has_failures, DiffOptions};
 use lapush_bench::report::load_dir;
@@ -37,6 +40,7 @@ fn main() {
         ignore_checksums: flag("no-checksums"),
         ignore_values: flag("no-values"),
         allow_thread_mismatch: flag("cross-threads"),
+        allow_kernels_mismatch: flag("cross-kernels"),
     };
     let quiet = flag("quiet");
 

@@ -34,7 +34,12 @@
 //! runs of equal group keys, pointwise sorted merges for `min`, and
 //! merge-based semi-join membership. Sort keys pack up to four vid
 //! columns into one integer, so nothing on these paths hashes or
-//! allocates per row (see [`rel`] for the full contract).
+//! allocates per row (see [`rel`] for the full contract). The
+//! data-parallel inner loops — key packing, run-boundary detection,
+//! permutation gathers, galloping merge advance, and the score folds —
+//! are routed through the runtime-dispatched SIMD kernel layer
+//! ([`kernels`]; `LAPUSH_KERNELS=scalar|sse2|avx2` overrides the
+//! dispatch, and every path produces byte-identical results).
 //!
 //! ## Morsel parallelism
 //!
@@ -88,6 +93,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod exec;
+pub mod kernels;
 pub mod pool;
 pub mod prepare;
 pub mod rel;

@@ -40,6 +40,7 @@
 //! hash-map representation, where float accumulation followed hash
 //! iteration order.
 
+use crate::kernels::{self, Key};
 use lapush_query::Var;
 use lapush_storage::{RowKey, Vid};
 
@@ -96,9 +97,13 @@ pub const MIN_PAR_ROWS: usize = 8192;
 #[derive(Debug, Default)]
 pub struct Scratch {
     /// Packed `(key, row)` pairs for the primary input of an operator.
-    keys: Vec<(u128, u32)>,
+    keys: Vec<Key>,
     /// Same, for the secondary (right/next) input.
-    rkeys: Vec<(u128, u32)>,
+    rkeys: Vec<Key>,
+    /// Recycled per-run buffers for tie resolution of keys wider than four
+    /// columns (one buffer per active recursion depth; see
+    /// [`resolve_ties`]).
+    ties: Vec<Vec<Key>>,
 }
 
 /// An intermediate result: a bag of distinct variable bindings with scores,
@@ -235,27 +240,27 @@ impl Rel {
             return;
         }
         let cols: Vec<&[Vid]> = self.cols.iter().map(Vec::as_slice).collect();
-        sort_rows(&cols, n, false, par, &mut scratch.keys);
+        let Scratch { keys, ties, .. } = scratch;
+        sort_rows(&cols, n, false, par, keys, ties);
         // Keep the first row of every distinct run; fold duplicate scores
         // with max (order-independent, so dedup order cannot matter).
-        let keys = &scratch.keys;
+        let keys = &*keys;
         let mut keep: Vec<u32> = Vec::with_capacity(n);
         let mut scores: Vec<f64> = Vec::with_capacity(n);
-        for pos in 0..n {
-            let row = keys[pos].1;
-            if pos > 0 && keys_eq(&cols, keys, pos - 1, pos) {
-                let last = scores.last_mut().expect("run has a first row");
-                *last = last.max(self.scores[row as usize]);
-            } else {
-                keep.push(row);
-                scores.push(self.scores[row as usize]);
-            }
+        let mut pos = 0usize;
+        while pos < n {
+            let end = run_end_full(&cols, keys, pos);
+            keep.push(keys[pos].row);
+            scores.push(kernels::fold_max(&self.scores, &keys[pos..end]));
+            pos = end;
         }
         let identity = keep.len() == n && keep.iter().enumerate().all(|(i, &r)| r as usize == i);
+        drop(cols);
         if !identity {
+            let mut tmp: Vec<Vid> = Vec::new();
             for col in &mut self.cols {
-                let new_col: Vec<Vid> = keep.iter().map(|&r| col[r as usize]).collect();
-                *col = new_col;
+                kernels::gather_u32(col, &keep, &mut tmp);
+                std::mem::swap(col, &mut tmp);
             }
         }
         self.scores = scores;
@@ -283,44 +288,33 @@ impl Rel {
 // Sorted row orders: packed integer keys
 // ---------------------------------------------------------------------------
 
-/// Pack up to four key columns starting at `depth` into one `u128`
-/// (shared encoding: [`lapush_storage::pack_vids`]). All rows pack the
-/// same columns, so packed keys compare exactly like the column tuple.
-#[inline]
-fn pack4(cols: &[&[Vid]], row: u32, depth: usize) -> u128 {
-    let slice = &cols[depth..(depth + 4).min(cols.len())];
-    lapush_storage::pack_vids(slice.iter().map(|col| col[row as usize]))
-}
-
-/// Fill `keys` with `(packed key, row)` pairs for rows `0..n`, sorted by
+/// Fill `keys` with `(packed key, row)` entries for rows `0..n`, sorted by
 /// the key columns and then by row index (a total order, so the resulting
 /// permutation is unique and thread-count-independent). With `presorted`
 /// the rows are known to already be in key order and only the packing
 /// happens. Keys wider than four columns are resolved by recursion on the
-/// equal-prefix runs.
-fn sort_rows(cols: &[&[Vid]], n: usize, presorted: bool, par: Par, keys: &mut Vec<(u128, u32)>) {
+/// equal-prefix runs, reusing the per-depth `ties` buffers.
+fn sort_rows(
+    cols: &[&[Vid]],
+    n: usize,
+    presorted: bool,
+    par: Par,
+    keys: &mut Vec<Key>,
+    ties: &mut Vec<Vec<Key>>,
+) {
     keys.clear();
-    keys.reserve(n);
+    keys.resize(n, Key { k: 0, row: 0 });
+    let prefix = &cols[..cols.len().min(4)];
     let morsels = par.morsels(n);
     if morsels <= 1 {
-        for i in 0..n as u32 {
-            keys.push((pack4(cols, i, 0), i));
-        }
+        kernels::pack_keys(prefix, 0, n as u32, keys);
     } else {
-        keys.resize(n, (0, 0));
-        let mut rest: &mut [(u128, u32)] = keys;
-        let mut start = 0usize;
+        let mut rest: &mut [Key] = keys;
         let mut tasks = Vec::with_capacity(morsels);
         for (lo, hi) in chunk_ranges(n, morsels) {
             let (chunk, tail) = rest.split_at_mut(hi - lo);
             rest = tail;
-            debug_assert_eq!(lo, start);
-            start = hi;
-            tasks.push(move || {
-                for (slot, i) in chunk.iter_mut().zip(lo as u32..hi as u32) {
-                    *slot = (pack4(cols, i, 0), i);
-                }
-            });
+            tasks.push(move || kernels::pack_keys(prefix, lo as u32, hi as u32, chunk));
         }
         crate::pool::run_scope(par.threads, tasks);
     }
@@ -329,39 +323,41 @@ fn sort_rows(cols: &[&[Vid]], n: usize, presorted: bool, par: Par, keys: &mut Ve
     }
     par_sort(keys, par);
     if cols.len() > 4 {
-        resolve_ties(cols, keys, 4);
+        resolve_ties(cols, keys, 4, ties, 0);
     }
 }
 
 /// Sort the equal-packed-prefix runs of `keys` by the columns from `depth`
-/// on (recursing in groups of four), finally by row index.
-fn resolve_ties(cols: &[&[Vid]], keys: &mut [(u128, u32)], depth: usize) {
+/// on (recursing in groups of four), finally by row index. Each recursion
+/// level reuses one scratch buffer from `ties` ([`kernels::pack_rekey`]
+/// clears it), so tie resolution allocates nothing in steady state.
+fn resolve_ties(
+    cols: &[&[Vid]],
+    keys: &mut [Key],
+    depth: usize,
+    ties: &mut Vec<Vec<Key>>,
+    level: usize,
+) {
+    if ties.len() <= level {
+        ties.push(Vec::new());
+    }
+    let deeper = &cols[depth..(depth + 4).min(cols.len())];
     let mut start = 0;
     while start < keys.len() {
-        let mut end = start + 1;
-        while end < keys.len() && keys[end].0 == keys[start].0 {
-            end += 1;
-        }
+        let end = kernels::run_end(keys, start);
         if end - start > 1 {
-            let run = &mut keys[start..end];
-            let mut rows: Vec<u32> = run.iter().map(|&(_, r)| r).collect();
-            sort_run(cols, &mut rows, depth);
-            for (slot, r) in run.iter_mut().zip(rows) {
-                slot.1 = r;
+            let mut buf = std::mem::take(&mut ties[level]);
+            kernels::pack_rekey(deeper, &keys[start..end], &mut buf);
+            buf.sort_unstable();
+            if depth + 4 < cols.len() {
+                resolve_ties(cols, &mut buf, depth + 4, ties, level + 1);
             }
+            for (slot, e) in keys[start..end].iter_mut().zip(&buf) {
+                slot.row = e.row;
+            }
+            ties[level] = buf;
         }
         start = end;
-    }
-}
-
-fn sort_run(cols: &[&[Vid]], rows: &mut [u32], depth: usize) {
-    let mut sub: Vec<(u128, u32)> = rows.iter().map(|&r| (pack4(cols, r, depth), r)).collect();
-    sub.sort_unstable();
-    if depth + 4 < cols.len() {
-        resolve_ties(cols, &mut sub, depth + 4);
-    }
-    for (slot, &(_, r)) in rows.iter_mut().zip(&sub) {
-        *slot = r;
     }
 }
 
@@ -369,12 +365,32 @@ fn sort_run(cols: &[&[Vid]], rows: &mut [u32], depth: usize) {
 /// The packed prefix decides for keys of up to four columns; wider keys
 /// fall back to comparing the remaining columns directly.
 #[inline]
-fn keys_eq(cols: &[&[Vid]], keys: &[(u128, u32)], a: usize, b: usize) -> bool {
-    if keys[a].0 != keys[b].0 {
+fn keys_eq(cols: &[&[Vid]], keys: &[Key], a: usize, b: usize) -> bool {
+    if keys[a].k != keys[b].k {
         return false;
     }
-    let (ra, rb) = (keys[a].1 as usize, keys[b].1 as usize);
+    let (ra, rb) = (keys[a].row as usize, keys[b].row as usize);
     cols.len() <= 4 || cols[4..].iter().all(|c| c[ra] == c[rb])
+}
+
+/// End of the run of entries equal to `keys[start]` on **every** key
+/// column. [`kernels::run_end`] decides on the packed prefix; keys wider
+/// than four columns additionally split the packed run on the unpacked
+/// tail columns (full-key-equal rows are contiguous after
+/// [`resolve_ties`], so a forward scan suffices).
+#[inline]
+fn run_end_full(cols: &[&[Vid]], keys: &[Key], start: usize) -> usize {
+    let end = kernels::run_end(keys, start);
+    if cols.len() <= 4 {
+        return end;
+    }
+    let ra = keys[start].row as usize;
+    let tail = &cols[4..];
+    let mut e = start + 1;
+    while e < end && tail.iter().all(|c| c[keys[e].row as usize] == c[ra]) {
+        e += 1;
+    }
+    e
 }
 
 /// Near-equal contiguous `(start, end)` ranges covering `0..n`.
@@ -505,17 +521,16 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     let rkey_cols: Vec<&[Vid]> = shared.iter().map(|&(_, ri)| right.col(ri)).collect();
     let l_presorted = shared.iter().enumerate().all(|(i, &(li, _))| li == i);
     let r_presorted = shared.iter().enumerate().all(|(i, &(_, ri))| ri == i);
-    sort_rows(&lkey_cols, left.len(), l_presorted, par, &mut scratch.keys);
-    sort_rows(
-        &rkey_cols,
-        right.len(),
-        r_presorted,
-        par,
-        &mut scratch.rkeys,
-    );
-    let (lkeys, rkeys) = (&scratch.keys, &scratch.rkeys);
+    let Scratch { keys, rkeys, ties } = scratch;
+    sort_rows(&lkey_cols, left.len(), l_presorted, par, keys, ties);
+    sort_rows(&rkey_cols, right.len(), r_presorted, par, rkeys, ties);
+    let (lkeys, rkeys) = (&*keys, &*rkeys);
 
-    // Enumerate matching key blocks and their output offsets.
+    // Enumerate matching key blocks and their output offsets. Mismatching
+    // sides advance by galloping on the packed key: the skip lands on the
+    // first entry whose packed prefix could match (exact for keys of up to
+    // four columns; a safe underestimate for wider keys, whose unpacked
+    // tail the next `block_cmp` re-checks).
     struct Block {
         l0: usize,
         l1: usize,
@@ -529,17 +544,11 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     while i < lkeys.len() && j < rkeys.len() {
         let cmp = block_cmp(&lkey_cols, lkeys, i, &rkey_cols, rkeys, j);
         match cmp {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Less => i = kernels::gallop_ge(lkeys, i + 1, rkeys[j].k),
+            std::cmp::Ordering::Greater => j = kernels::gallop_ge(rkeys, j + 1, lkeys[i].k),
             std::cmp::Ordering::Equal => {
-                let mut i1 = i + 1;
-                while i1 < lkeys.len() && keys_eq(&lkey_cols, lkeys, i, i1) {
-                    i1 += 1;
-                }
-                let mut j1 = j + 1;
-                while j1 < rkeys.len() && keys_eq(&rkey_cols, rkeys, j, j1) {
-                    j1 += 1;
-                }
+                let i1 = run_end_full(&lkey_cols, lkeys, i);
+                let j1 = run_end_full(&rkey_cols, rkeys, j);
                 blocks.push(Block {
                     l0: i,
                     l1: i1,
@@ -561,11 +570,11 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     let fill = |blocks: &[Block], cols: &mut [&mut [Vid]], scores: &mut [f64], base: usize| {
         for b in blocks {
             let mut at = b.out - base;
-            for &(_, lrow) in &lkeys[b.l0..b.l1] {
-                let lrow = lrow as usize;
+            for le in &lkeys[b.l0..b.l1] {
+                let lrow = le.row as usize;
                 let ls = left.score(lrow);
-                for &(_, rrow) in &rkeys[b.r0..b.r1] {
-                    let rrow = rrow as usize;
+                for re in &rkeys[b.r0..b.r1] {
+                    let rrow = re.row as usize;
                     for (c, col) in cols.iter_mut().enumerate() {
                         col[at] = if c < w_left {
                             left.get(lrow, c)
@@ -648,20 +657,20 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
 #[inline]
 fn block_cmp(
     lcols: &[&[Vid]],
-    lkeys: &[(u128, u32)],
+    lkeys: &[Key],
     i: usize,
     rcols: &[&[Vid]],
-    rkeys: &[(u128, u32)],
+    rkeys: &[Key],
     j: usize,
 ) -> std::cmp::Ordering {
-    match lkeys[i].0.cmp(&rkeys[j].0) {
+    match lkeys[i].k.cmp(&rkeys[j].k) {
         std::cmp::Ordering::Equal => {}
         other => return other,
     }
     if lcols.len() <= 4 {
         return std::cmp::Ordering::Equal;
     }
-    let (lr, rr) = (lkeys[i].1 as usize, rkeys[j].1 as usize);
+    let (lr, rr) = (lkeys[i].row as usize, rkeys[j].row as usize);
     for (lc, rc) in lcols[4..].iter().zip(&rcols[4..]) {
         match lc[lr].cmp(&rc[rr]) {
             std::cmp::Ordering::Equal => {}
@@ -757,38 +766,27 @@ fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &m
     // is already grouped — the "sort" is a plain packing pass.
     let presorted = cols_idx.iter().enumerate().all(|(i, &c)| c == i);
     let n = input.len();
-    sort_rows(&key_cols, n, presorted, par, &mut scratch.keys);
-    let keys = &scratch.keys;
+    let Scratch { keys, ties, .. } = scratch;
+    sort_rows(&key_cols, n, presorted, par, keys, ties);
+    let keys = &*keys;
 
     // Find group run boundaries; morsels take whole runs.
     let run_fold =
         |lo: usize, hi: usize, out_cols: &mut Vec<Vec<Vid>>, out_scores: &mut Vec<f64>| {
             let mut pos = lo;
             while pos < hi {
-                let mut end = pos + 1;
-                while end < hi && keys_eq(&key_cols, keys, pos, end) {
-                    end += 1;
-                }
+                let end = run_end_full(&key_cols, keys, pos).min(hi);
                 let score = match fold {
                     ProjFold::IndependentOr => {
-                        // Accumulate in sorted-run order: a defined, total
+                        // Folded in sorted-run order (strict serial
+                        // association inside the kernel): a defined, total
                         // order, so the float product is reproducible.
-                        let mut not_any = 1.0;
-                        for &(_, row) in &keys[pos..end] {
-                            not_any *= 1.0 - input.score(row as usize);
-                        }
-                        1.0 - not_any
+                        kernels::fold_or(input.scores(), &keys[pos..end])
                     }
-                    ProjFold::Max => {
-                        let mut best = f64::NEG_INFINITY;
-                        for &(_, row) in &keys[pos..end] {
-                            best = best.max(input.score(row as usize));
-                        }
-                        best
-                    }
+                    ProjFold::Max => kernels::fold_max(input.scores(), &keys[pos..end]),
                     ProjFold::One => 1.0,
                 };
-                let row = keys[pos].1 as usize;
+                let row = keys[pos].row as usize;
                 for (out, &kc) in out_cols.iter_mut().zip(&key_cols) {
                     out.push(kc[row]);
                 }
@@ -917,34 +915,28 @@ pub fn min_into_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) 
         .collect();
     let identity = perm.iter().copied().eq(0..perm.len());
     let next_cols: Vec<&[Vid]> = perm.iter().map(|&c| next.col(c)).collect();
-    // Bring `next` into acc-column order (free when the orders agree).
-    sort_rows(&next_cols, next.len(), identity, par, &mut scratch.rkeys);
-    let nkeys = &scratch.rkeys;
-
+    // Bring `next` into acc-column order (free when the orders agree) and
+    // pack acc's rows too (canonical order *is* key order, so the pack is
+    // a presorted pass): the merge below then compares packed keys.
+    let Scratch { keys, rkeys, ties } = scratch;
+    sort_rows(&next_cols, next.len(), identity, par, rkeys, ties);
+    let nkeys = &*rkeys;
     let acc_cols: Vec<&[Vid]> = acc.cols.iter().map(Vec::as_slice).collect();
-    let cmp_rows = |ai: usize, nj: usize| -> std::cmp::Ordering {
-        let nrow = nkeys[nj].1 as usize;
-        for (ac, nc) in acc_cols.iter().zip(&next_cols) {
-            match ac[ai].cmp(&nc[nrow]) {
-                std::cmp::Ordering::Equal => {}
-                other => return other,
-            }
-        }
-        std::cmp::Ordering::Equal
-    };
+    sort_rows(&acc_cols, acc.len(), true, par, keys, ties);
+    let akeys = &*keys;
 
     // In-place pointwise min; extras are the next-only keys.
     let mut extras: Vec<u32> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < acc.len() && j < nkeys.len() {
-        match cmp_rows(i, j) {
+        match block_cmp(&acc_cols, akeys, i, &next_cols, nkeys, j) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => {
-                extras.push(nkeys[j].1);
+                extras.push(nkeys[j].row);
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                let s = next.score(nkeys[j].1 as usize);
+                let s = next.score(nkeys[j].row as usize);
                 let cur = &mut acc.scores[i];
                 *cur = cur.min(s);
                 i += 1;
@@ -952,7 +944,7 @@ pub fn min_into_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) 
             }
         }
     }
-    extras.extend(nkeys[j..].iter().map(|&(_, r)| r));
+    extras.extend(nkeys[j..].iter().map(|e| e.row));
     drop(acc_cols);
     if extras.is_empty() {
         return;

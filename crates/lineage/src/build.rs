@@ -13,6 +13,7 @@
 //! never across the joins.
 
 use crate::formula::Dnf;
+use lapush_engine::kernels::{self, Key};
 use lapush_engine::prepare::{PrepareError, PreparedAtom, ScanShape};
 use lapush_query::{Atom, Query, Var};
 use lapush_storage::{Database, FxHashMap, RowKey, TupleId, Value};
@@ -214,7 +215,8 @@ fn scan_atom(
 
 /// Merge two key-sorted `(key, row)` sequences, invoking `emit` for every
 /// matching `(left row, right row)` pair — the block cross product of a
-/// sort-merge join.
+/// sort-merge join (the wide-key fallback; packed keys take
+/// [`merge_matches_packed`]).
 fn merge_matches<K: Ord>(lkeys: &[(K, u32)], rkeys: &[(K, u32)], mut emit: impl FnMut(u32, u32)) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < lkeys.len() && j < rkeys.len() {
@@ -233,6 +235,33 @@ fn merge_matches<K: Ord>(lkeys: &[(K, u32)], rkeys: &[(K, u32)], mut emit: impl 
                 for &(_, lr) in &lkeys[i..i1] {
                     for &(_, rr) in &rkeys[j..j1] {
                         emit(lr, rr);
+                    }
+                }
+                i = i1;
+                j = j1;
+            }
+        }
+    }
+}
+
+/// [`merge_matches`] on packed [`Key`] buffers, through the engine's
+/// kernel layer: mismatching sides skip ahead by galloping
+/// ([`kernels::gallop_ge`]) and matching blocks are delimited by
+/// vectorized run detection ([`kernels::run_end`]). Emission order is
+/// identical to the linear merge — blocks are visited in key order and
+/// crossed left-major.
+fn merge_matches_packed(lkeys: &[Key], rkeys: &[Key], mut emit: impl FnMut(u32, u32)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        match lkeys[i].k.cmp(&rkeys[j].k) {
+            std::cmp::Ordering::Less => i = kernels::gallop_ge(lkeys, i + 1, rkeys[j].k),
+            std::cmp::Ordering::Greater => j = kernels::gallop_ge(rkeys, j + 1, lkeys[i].k),
+            std::cmp::Ordering::Equal => {
+                let i1 = kernels::run_end(lkeys, i);
+                let j1 = kernels::run_end(rkeys, j);
+                for le in &lkeys[i..i1] {
+                    for re in &rkeys[j..j1] {
+                        emit(le.row, re.row);
                     }
                 }
                 i = i1;
@@ -277,22 +306,29 @@ fn prov_join(left: &ProvRel, right: &ProvRel) -> ProvRel {
     let lcols: Vec<usize> = shared.iter().map(|&(c, _)| c).collect();
     let rcols: Vec<usize> = shared.iter().map(|&(_, c)| c).collect();
     if shared.len() <= 4 {
-        // Packed-integer keys: one u128 comparison per merge step.
-        let mut lkeys: Vec<(u128, u32)> = left
+        // Packed-integer keys ([`Key`], the engine's sort entry): one u128
+        // comparison per merge step, kernel-accelerated skip and run scan.
+        let mut lkeys: Vec<Key> = left
             .rows
             .iter()
             .enumerate()
-            .map(|(i, (k, _))| (pack_key(k, &lcols), i as u32))
+            .map(|(i, (k, _))| Key {
+                k: pack_key(k, &lcols),
+                row: i as u32,
+            })
             .collect();
-        let mut rkeys: Vec<(u128, u32)> = right
+        let mut rkeys: Vec<Key> = right
             .rows
             .iter()
             .enumerate()
-            .map(|(i, (k, _))| (pack_key(k, &rcols), i as u32))
+            .map(|(i, (k, _))| Key {
+                k: pack_key(k, &rcols),
+                row: i as u32,
+            })
             .collect();
         lkeys.sort_unstable();
         rkeys.sort_unstable();
-        merge_matches(&lkeys, &rkeys, &mut emit);
+        merge_matches_packed(&lkeys, &rkeys, &mut emit);
     } else {
         // Wide keys: lexicographic RowKey order (see lapush_storage).
         let mut lkeys: Vec<(RowKey, u32)> = left

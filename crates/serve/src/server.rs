@@ -350,8 +350,11 @@ fn render_stats(shared: &Shared) -> String {
     // start. `scopes`/`tasks` are workload-determined; `inline`/`steals`
     // depend on scheduling and are informational only.
     let pool = lapush_engine::pool::counters();
+    // `kernels.path` is a string value, not a counter — `parse_stats`
+    // skips it by design. Deterministic per machine/environment; scripted
+    // sessions that byte-diff STATS pin it with `LAPUSH_KERNELS`.
     format!(
-        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}",
+        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}\nkernels.path={}",
         shared.queries_served.load(Ordering::SeqCst),
         cache_lines("plan_cache", plan_stats, plan_len),
         cache_lines("answer_cache", ans_stats, ans_len),
@@ -359,6 +362,7 @@ fn render_stats(shared: &Shared) -> String {
         pool.tasks,
         pool.inline,
         pool.steals,
+        lapush_engine::kernels::active().name(),
     )
 }
 
