@@ -4,8 +4,9 @@
 //! plan and answer caches with one pass over the query mix, then drives
 //! `clients` concurrent connections issuing `reqs` requests each and
 //! reports request latency (p50/p99), phase wall time, throughput, and
-//! the cache hit-rate. Ends with one `INGEST` + re-query to exercise
-//! answer-cache invalidation.
+//! the cache hit-rate. Ends with one `INGEST` + re-query to exercise the
+//! incremental delta merge that keeps cached answers fresh across
+//! ingests (the `delta.*` counters).
 //!
 //! `cargo run --release -p lapush-bench --bin fig_serve -- --quick`
 //!
@@ -144,10 +145,15 @@ fn main() {
     bench.push(Metric::timing("latency_p99", vec![p99]));
     bench.push(Metric::timing("serve_phase_wall", vec![ms(phase_wall)]));
 
-    // Invalidation epilogue: grow R1, re-ask the 3-chain query. The
-    // stamped answer self-invalidates; the plan (same shape) is reused.
+    // Ingest epilogue: grow R1, re-ask the 3-chain query. The server
+    // merges the appended tuple into every cached answer in place (the
+    // value `domain + 1` is outside the generated `1..=domain` range, so
+    // it joins nothing and every merge is a no-op delta), re-stamping the
+    // entries fresh — the re-query is an answer-cache *hit*, not an
+    // invalidation.
+    let outside = domain + 1;
     let ingest = warm
-        .request(&format!("INGEST R1\n{domain},{domain},0.5"))
+        .request(&format!("INGEST R1\n{outside},{outside},0.5"))
         .expect("ingest");
     assert!(ingest.starts_with("OK ingested 1 "), "{ingest}");
     let requery = warm
@@ -162,7 +168,14 @@ fn main() {
     let served = counter("queries.served");
     let answer_hits = counter("answer_cache.hits");
     assert_eq!(served as usize, queries.len() + total + 1);
-    assert_eq!(answer_hits as usize, total);
+    // The post-ingest re-query hits: its entry was delta-merged in place.
+    assert_eq!(answer_hits as usize, total + 1);
+    assert_eq!(counter("answer_cache.invalidations"), 0);
+    // One ingest × five cached answers, all absorbed without changing an
+    // answer row and without falling back to re-evaluation.
+    assert_eq!(counter("delta.batches") as usize, queries.len());
+    assert_eq!(counter("delta.rows"), 0);
+    assert_eq!(counter("delta.fallbacks"), 0);
     for key in [
         "queries.served",
         "plan_cache.hits",
@@ -170,6 +183,9 @@ fn main() {
         "answer_cache.hits",
         "answer_cache.misses",
         "answer_cache.invalidations",
+        "delta.batches",
+        "delta.rows",
+        "delta.fallbacks",
     ] {
         bench.push(Metric::value(key.replace('.', "_"), counter(key) as f64));
     }

@@ -1,0 +1,721 @@
+//! Incremental re-scoring under streaming deltas (DBSP-style view
+//! maintenance).
+//!
+//! [`IncrementalEval`] evaluates a plan set once while **capturing** every
+//! node's materialized result — the same `PlanId`-keyed memo the batch
+//! evaluator uses, promoted to a persistent cached-view store — and then
+//! consumes append-only database growth as sorted [`DeltaBatch`] appendices,
+//! propagating per-node *effective deltas* (new rows plus rows whose score
+//! changed) up the plan DAG instead of re-evaluating from scratch.
+//!
+//! # Delta algebra
+//!
+//! Every rule below reproduces the batch operator **bitwise**, which the
+//! equivalence suite (`tests/delta_equivalence.rs`) enforces across
+//! semantics, opt levels, thread counts, and kernel paths:
+//!
+//! * **Scan** — relations are append-only and a scan's output key (its
+//!   distinct variables) determines the full base row once the atom's
+//!   constant and repeated-variable filters are applied, so scan deltas are
+//!   pure insertions of fresh keys: a sorted merge of the cached scan and
+//!   the filtered batch equals a full rescan. In-place probability
+//!   mutations are excluded up front (see *Fallback rules*).
+//! * **Join** — a join output row determines its contributing input pair,
+//!   and scores multiply ([`join_par`] computes `ls · rs`; IEEE
+//!   multiplication is commutative bitwise), so the delta of one fold step
+//!   `acc ⋈ in` is `(Δacc ⋈ in') ∪ (acc' ⋈ Δin)` over the *updated*
+//!   operands — both terms agree bitwise where they overlap. The greedy
+//!   fold order is data-dependent ([`join_order`]); it is recomputed from
+//!   the updated input sizes and, when it no longer matches the cached
+//!   per-step accumulators, the node is recomputed wholesale and the
+//!   change still propagates as a [`diff_changed`] delta.
+//! * **Project** — with group columns that are a prefix of the child's
+//!   canonical order (the batch fast path), a touched group is a
+//!   contiguous run of the merged child view, and refolding just that run
+//!   with the same kernel (`fold_run_or` / `fold_run_max`) replays the
+//!   exact operand sequence of a full re-projection. Non-prefix
+//!   projections recompute the node from the updated child.
+//! * **Min** — `f64::min` over non-negative scores is an
+//!   order-insensitive selection, and key sets only grow, so the affected
+//!   keys (the union of the input deltas) are re-folded left-to-right
+//!   across the updated input views — the same sequence
+//!   [`min_combine_par`] applies.
+//!
+//! # Fallback rules
+//!
+//! [`IncrementalEval::apply_deltas`] refuses (returns
+//! [`DeltaOutcome::Fallback`], leaving the caller to re-evaluate from
+//! scratch) when a base relation's [`prob_epoch`] moved — an in-place
+//! probability mutation (duplicate insert raising a probability,
+//! `set_prob`, `scale_probs`) invalidates cached scan scores, which the
+//! append-only delta algebra cannot repair. Everything else is handled
+//! incrementally, degrading per node to recompute-and-diff where noted
+//! above.
+//!
+//! [`prob_epoch`]: lapush_storage::Relation::prob_epoch
+
+use crate::exec::{decode_answers, scan_atom, AnswerSet, ExecError, ExecOptions, Semantics};
+use crate::prepare::{prepare_atoms, ScanShape};
+use crate::rel::{
+    diff_changed, fold_run_max, fold_run_or, join_order, join_par, merge_upsert, min_combine_par,
+    min_into_par, project_det_par, project_max_par, project_prob_par, Par, Rel, Scratch,
+};
+use lapush_core::{NodeKind, PlanId, PlanStore};
+use lapush_query::{Query, Var};
+use lapush_storage::{Database, DeltaBatch, FxHashMap, RelId, Value, Vid};
+
+/// What one [`IncrementalEval::apply_deltas`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The appended tuples did not change any answer (none survived the
+    /// scan filters, or every touched score refolded to the same bits).
+    Unchanged,
+    /// Cached views and answers were updated in place.
+    Updated {
+        /// Number of answer tuples inserted or re-scored.
+        rows: usize,
+    },
+    /// The delta algebra cannot repair the cached state (a base relation's
+    /// probabilities mutated in place); the caller must re-evaluate from
+    /// scratch. The state was left untouched and must be discarded.
+    Fallback,
+}
+
+/// Per-atom snapshot of the base relation the cached views were built on.
+struct AtomSnap {
+    rel: RelId,
+    base_rows: usize,
+    prob_epoch: u64,
+}
+
+/// Cached greedy fold order and intermediate accumulators of one `Join`
+/// node (all accumulators except the final one, which is the node's view).
+struct JoinState {
+    order: Vec<usize>,
+    mids: Vec<Rel>,
+}
+
+/// A captured evaluation: every plan node's materialized view plus the
+/// bookkeeping needed to consume append-only deltas. Build with
+/// [`IncrementalEval::new`] (one full evaluation, bit-identical to
+/// [`crate::propagation_score_ids`]), then advance with
+/// [`IncrementalEval::apply_deltas`] after the database grows.
+pub struct IncrementalEval {
+    opts: ExecOptions,
+    roots: Vec<PlanId>,
+    /// Reachable nodes in ascending id order (children before parents —
+    /// hash-consing interns children first).
+    nodes: Vec<PlanId>,
+    atoms: Vec<AtomSnap>,
+    views: FxHashMap<PlanId, Rel>,
+    joins: FxHashMap<PlanId, JoinState>,
+    /// Min-fold over the root views, in root order.
+    root_acc: Rel,
+    answers: AnswerSet,
+}
+
+impl IncrementalEval {
+    /// Evaluate the plan set and capture every node's view. The produced
+    /// [`IncrementalEval::answers`] are bit-identical to
+    /// [`crate::propagation_score_ids`] with the same arguments (the memo
+    /// discipline is the same; only the captured state is new).
+    pub fn new(
+        db: &Database,
+        q: &Query,
+        store: &PlanStore,
+        roots: &[PlanId],
+        opts: ExecOptions,
+    ) -> Result<IncrementalEval, ExecError> {
+        assert!(!roots.is_empty(), "no plans to evaluate");
+        let prepared = prepare_atoms(db, q)?;
+        let atoms = prepared
+            .iter()
+            .map(|p| {
+                let rel = db.relation(p.rel);
+                AtomSnap {
+                    rel: p.rel,
+                    base_rows: rel.len(),
+                    prob_epoch: rel.prob_epoch(),
+                }
+            })
+            .collect();
+        let nodes = reachable_nodes(store, roots);
+        let par = Par::new(opts.threads.max(1));
+        let mut scratch = Scratch::default();
+        let mut views: FxHashMap<PlanId, Rel> = FxHashMap::default();
+        let mut joins: FxHashMap<PlanId, JoinState> = FxHashMap::default();
+        for &id in &nodes {
+            let node = store.node(id);
+            let rel = match &node.kind {
+                NodeKind::Scan { atom } => scan_atom(
+                    db,
+                    &prepared[*atom],
+                    q,
+                    &q.atoms()[*atom],
+                    opts,
+                    par,
+                    &mut scratch,
+                ),
+                NodeKind::Project { input } => {
+                    let child = &views[input];
+                    let keep: Vec<Var> = node.head.iter().collect();
+                    project_node(child, &keep, opts.semantics, par, &mut scratch)
+                }
+                NodeKind::Join { inputs } => {
+                    let refs: Vec<&Rel> = inputs.iter().map(|c| &views[c]).collect();
+                    let (rel, state) = fold_join(&refs, par, &mut scratch);
+                    joins.insert(id, state);
+                    rel
+                }
+                NodeKind::Min { inputs } => {
+                    let refs: Vec<&Rel> = inputs.iter().map(|c| &views[c]).collect();
+                    min_combine_par(&refs, par, &mut scratch)
+                }
+            };
+            views.insert(id, rel);
+        }
+        let mut root_acc = views[&roots[0]].clone();
+        for r in &roots[1..] {
+            min_into_par(&mut root_acc, &views[r], par, &mut scratch);
+        }
+        let answers = decode_answers(&root_acc, q.head(), &db.codec());
+        Ok(IncrementalEval {
+            opts,
+            roots: roots.to_vec(),
+            nodes,
+            atoms,
+            views,
+            joins,
+            root_acc,
+            answers,
+        })
+    }
+
+    /// The maintained answer set — after [`IncrementalEval::apply_deltas`],
+    /// bit-identical to a fresh evaluation over the grown database.
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// The options the state was captured with.
+    pub fn options(&self) -> ExecOptions {
+        self.opts
+    }
+
+    /// Consume everything appended to the base relations since capture (or
+    /// since the previous call), merging per-node deltas into the cached
+    /// views and the answer set. `q` and `store` must be the ones the
+    /// state was built with.
+    pub fn apply_deltas(
+        &mut self,
+        db: &Database,
+        q: &Query,
+        store: &PlanStore,
+    ) -> Result<DeltaOutcome, ExecError> {
+        let prepared = prepare_atoms(db, q)?;
+        debug_assert_eq!(prepared.len(), self.atoms.len());
+        for (snap, prep) in self.atoms.iter().zip(&prepared) {
+            debug_assert_eq!(snap.rel, prep.rel);
+            if db.relation(prep.rel).prob_epoch() != snap.prob_epoch {
+                return Ok(DeltaOutcome::Fallback);
+            }
+        }
+        let opts = self.opts;
+        let par = Par::new(opts.threads.max(1));
+        let mut scratch = Scratch::default();
+
+        // Filtered scan deltas, one per query atom, in scan-output layout.
+        let mut scan_deltas: Vec<Option<Rel>> = Vec::with_capacity(prepared.len());
+        {
+            let mut codec = db.codec();
+            for ((atom, prep), snap) in q.atoms().iter().zip(&prepared).zip(&self.atoms) {
+                let rel = db.relation(prep.rel);
+                if rel.len() == snap.base_rows {
+                    scan_deltas.push(None);
+                    continue;
+                }
+                let batch: DeltaBatch = codec.delta_batch(prep.rel, snap.base_rows);
+                let shape = ScanShape::of(q, atom);
+                let mut out = Rel::empty(shape.out_vars.clone());
+                let mut row_buf: Vec<Vid> = vec![0; shape.out_cols.len()];
+                prep.for_each_surviving_delta_row(rel, &batch, &shape, |ordinal, row| {
+                    for (slot, &c) in row_buf.iter_mut().zip(&shape.out_cols) {
+                        *slot = row[c];
+                    }
+                    let score = match opts.semantics {
+                        Semantics::Probabilistic | Semantics::LowerBound => rel.prob(ordinal),
+                        Semantics::Deterministic => 1.0,
+                    };
+                    out.push_row(&row_buf, score);
+                });
+                out.canonicalize(Par::serial(), &mut scratch);
+                scan_deltas.push((!out.is_empty()).then_some(out));
+            }
+        }
+
+        // Propagate effective deltas bottom-up (ascending id: children
+        // first). A node absent from `deltas` is untouched this round.
+        let mut deltas: FxHashMap<PlanId, Rel> = FxHashMap::default();
+        let nodes = self.nodes.clone();
+        for id in nodes {
+            let node = store.node(id);
+            let (new_view, node_delta): (Rel, Rel) = match &node.kind {
+                NodeKind::Scan { atom } => {
+                    let Some(d) = &scan_deltas[*atom] else {
+                        continue;
+                    };
+                    (merge_upsert(&self.views[&id], d), d.clone())
+                }
+                NodeKind::Project { input } => {
+                    let Some(d) = deltas.get(input) else { continue };
+                    let child = &self.views[input];
+                    let old = &self.views[&id];
+                    let keep: Vec<Var> = node.head.iter().collect();
+                    let cols_idx: Vec<usize> = keep
+                        .iter()
+                        .map(|&v| child.col_of(v).expect("projection var missing"))
+                        .collect();
+                    if cols_idx.iter().enumerate().all(|(i, &c)| c == i) {
+                        // Prefix groups: refold only the touched runs.
+                        let nd = refold_groups(child, old, d, keep.len(), opts.semantics);
+                        if nd.is_empty() {
+                            continue;
+                        }
+                        (merge_upsert(old, &nd), nd)
+                    } else {
+                        let new = project_node(child, &keep, opts.semantics, par, &mut scratch);
+                        let nd = diff_changed(&new, old);
+                        if nd.is_empty() {
+                            continue;
+                        }
+                        (new, nd)
+                    }
+                }
+                NodeKind::Join { inputs } => {
+                    if !inputs.iter().any(|c| deltas.contains_key(c)) {
+                        continue;
+                    }
+                    let refs: Vec<&Rel> = inputs.iter().map(|c| &self.views[c]).collect();
+                    let state = self.joins.get_mut(&id).expect("join state captured");
+                    let order = join_order(&refs);
+                    if order != state.order {
+                        // The greedy order moved with the data: the cached
+                        // accumulators no longer line up. Recompute the
+                        // node, refresh the state, diff to keep
+                        // propagating.
+                        let (new, new_state) = fold_join(&refs, par, &mut scratch);
+                        *state = new_state;
+                        let nd = diff_changed(&new, &self.views[&id]);
+                        if nd.is_empty() {
+                            self.views.insert(id, new);
+                            continue;
+                        }
+                        (new, nd)
+                    } else {
+                        let k = inputs.len();
+                        if k == 1 {
+                            let Some(d) = deltas.get(&inputs[0]) else {
+                                continue;
+                            };
+                            (merge_upsert(&self.views[&id], d), d.clone())
+                        } else {
+                            let mut acc_delta: Option<Rel> = deltas.get(&inputs[order[0]]).cloned();
+                            let mut final_view: Option<Rel> = None;
+                            for s in 1..k {
+                                let in_new = refs[order[s]];
+                                let d_in = deltas.get(&inputs[order[s]]);
+                                let a_new: &Rel = if s == 1 {
+                                    refs[order[0]]
+                                } else {
+                                    &state.mids[s - 2]
+                                };
+                                let step = match (acc_delta.as_ref(), d_in) {
+                                    (None, None) => None,
+                                    (Some(da), None) => {
+                                        nonempty(join_par(da, in_new, par, &mut scratch))
+                                    }
+                                    (None, Some(di)) => {
+                                        nonempty(join_par(a_new, di, par, &mut scratch))
+                                    }
+                                    (Some(da), Some(di)) => {
+                                        // Both terms compute any shared key
+                                        // from updated operands, so the
+                                        // upsert order cannot matter.
+                                        let t1 = join_par(da, in_new, par, &mut scratch);
+                                        let t2 = join_par(a_new, di, par, &mut scratch);
+                                        nonempty(merge_upsert(&t2, &t1))
+                                    }
+                                };
+                                if let Some(sd) = &step {
+                                    if s == k - 1 {
+                                        final_view = Some(merge_upsert(&self.views[&id], sd));
+                                    } else {
+                                        let merged = merge_upsert(&state.mids[s - 1], sd);
+                                        state.mids[s - 1] = merged;
+                                    }
+                                }
+                                acc_delta = step;
+                            }
+                            let (Some(new), Some(nd)) = (final_view, acc_delta) else {
+                                continue;
+                            };
+                            (new, nd)
+                        }
+                    }
+                }
+                NodeKind::Min { inputs } => {
+                    if !inputs.iter().any(|c| deltas.contains_key(c)) {
+                        continue;
+                    }
+                    let old = &self.views[&id];
+                    let keys = affected_keys(&old.vars, inputs.iter().map(|c| deltas.get(c)));
+                    let input_views: Vec<&Rel> = inputs.iter().map(|c| &self.views[c]).collect();
+                    let nd = refold_min(&old.vars, old, &keys, &input_views);
+                    if nd.is_empty() {
+                        continue;
+                    }
+                    (merge_upsert(old, &nd), nd)
+                }
+            };
+            self.views.insert(id, new_view);
+            deltas.insert(id, node_delta);
+        }
+
+        // Fold the root deltas into the accumulated minimum and decode the
+        // changed answers — the same left-to-right min the batch path runs.
+        let root_views: Vec<&Rel> = self.roots.iter().map(|r| &self.views[r]).collect();
+        let keys = affected_keys(
+            &self.root_acc.vars,
+            self.roots.iter().map(|r| deltas.get(r)),
+        );
+        let rd = refold_min(&self.root_acc.vars, &self.root_acc, &keys, &root_views);
+        for (snap, prep) in self.atoms.iter_mut().zip(&prepared) {
+            snap.base_rows = db.relation(prep.rel).len();
+        }
+        if rd.is_empty() {
+            return Ok(DeltaOutcome::Unchanged);
+        }
+        self.root_acc = merge_upsert(&self.root_acc, &rd);
+        let codec = db.codec();
+        let perm: Vec<usize> = q
+            .head()
+            .iter()
+            .map(|&v| rd.col_of(v).expect("plan head misses query head var"))
+            .collect();
+        for i in 0..rd.len() {
+            let key: Box<[Value]> = perm
+                .iter()
+                .map(|&c| codec.decode(rd.get(i, c)).clone())
+                .collect();
+            self.answers.rows.insert(key, rd.score(i));
+        }
+        Ok(DeltaOutcome::Updated { rows: rd.len() })
+    }
+}
+
+/// Empty-to-`None` (an empty delta short-circuits downstream work).
+fn nonempty(rel: Rel) -> Option<Rel> {
+    (!rel.is_empty()).then_some(rel)
+}
+
+/// Reachable plan nodes in ascending id order.
+fn reachable_nodes(store: &PlanStore, roots: &[PlanId]) -> Vec<PlanId> {
+    let mut seen = vec![false; store.len()];
+    let mut stack: Vec<PlanId> = roots.to_vec();
+    let mut out: Vec<PlanId> = Vec::new();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        out.push(id);
+        match &store.node(id).kind {
+            NodeKind::Scan { .. } => {}
+            NodeKind::Project { input } => stack.push(*input),
+            NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                stack.extend(inputs.iter().copied())
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The batch projection for one semantics (the dispatch `eval_node` runs).
+fn project_node(child: &Rel, keep: &[Var], sem: Semantics, par: Par, scratch: &mut Scratch) -> Rel {
+    match sem {
+        Semantics::Probabilistic => project_prob_par(child, keep, par, scratch),
+        Semantics::LowerBound => project_max_par(child, keep, par, scratch),
+        Semantics::Deterministic => project_det_par(child, keep, par, scratch),
+    }
+}
+
+/// Fold a multi-way join along its greedy order, capturing the
+/// intermediate accumulators (all but the final result).
+fn fold_join(inputs: &[&Rel], par: Par, scratch: &mut Scratch) -> (Rel, JoinState) {
+    if inputs.len() == 1 {
+        return (
+            inputs[0].clone(),
+            JoinState {
+                order: vec![0],
+                mids: Vec::new(),
+            },
+        );
+    }
+    let order = join_order(inputs);
+    let mut acc = join_par(inputs[order[0]], inputs[order[1]], par, scratch);
+    let mut mids: Vec<Rel> = Vec::with_capacity(order.len().saturating_sub(2));
+    for &ix in &order[2..] {
+        let next = join_par(&acc, inputs[ix], par, scratch);
+        mids.push(std::mem::replace(&mut acc, next));
+    }
+    (acc, JoinState { order, mids })
+}
+
+/// Refold the projection groups touched by the child delta `d`: each
+/// distinct length-`g` prefix of `d` names one contiguous run of the
+/// updated child view, and the run refolds with the same kernel call the
+/// batch projection would make. Returns the rows whose score is new or
+/// changed bitwise, in canonical order.
+fn refold_groups(child: &Rel, old: &Rel, d: &Rel, g: usize, sem: Semantics) -> Rel {
+    let mut nd = Rel::empty(old.vars.clone());
+    let mut key: Vec<Vid> = vec![0; g];
+    let mut last: Option<Vec<Vid>> = None;
+    for r in 0..d.len() {
+        for (c, slot) in key.iter_mut().enumerate() {
+            *slot = d.get(r, c);
+        }
+        if last.as_deref() == Some(&key[..]) {
+            continue;
+        }
+        last = Some(key.clone());
+        let run = child.prefix_run(&key);
+        let score = match sem {
+            Semantics::Probabilistic => fold_run_or(child, run.start, run.end),
+            Semantics::LowerBound => fold_run_max(child, run.start, run.end),
+            Semantics::Deterministic => 1.0,
+        };
+        let changed = old
+            .score_of_row(&key)
+            .map_or(true, |s| s.to_bits() != score.to_bits());
+        if changed {
+            nd.push_row(&key, score);
+        }
+    }
+    nd
+}
+
+/// Distinct keys touched by any of the given deltas, permuted into `vars`
+/// order and sorted.
+fn affected_keys<'a>(vars: &[Var], deltas: impl Iterator<Item = Option<&'a Rel>>) -> Vec<Vec<Vid>> {
+    let mut keys: Vec<Vec<Vid>> = Vec::new();
+    for d in deltas.flatten() {
+        let map: Vec<usize> = vars
+            .iter()
+            .map(|&v| d.col_of(v).expect("min over mismatched vars"))
+            .collect();
+        for r in 0..d.len() {
+            keys.push(map.iter().map(|&c| d.get(r, c)).collect());
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Re-fold the per-key minimum over `inputs` (left to right, first present
+/// input initializing — exactly [`min_combine_par`]'s union semantics) for
+/// each affected key, returning the rows that are new or changed bitwise
+/// vs. `old`, in canonical order.
+///
+/// [`min_combine_par`]: crate::rel::min_combine_par
+fn refold_min(vars: &[Var], old: &Rel, keys: &[Vec<Vid>], inputs: &[&Rel]) -> Rel {
+    let maps: Vec<Vec<usize>> = inputs
+        .iter()
+        .map(|iv| {
+            iv.vars
+                .iter()
+                .map(|&v| {
+                    vars.iter()
+                        .position(|&u| u == v)
+                        .expect("min over mismatched vars")
+                })
+                .collect()
+        })
+        .collect();
+    let mut nd = Rel::empty(vars.to_vec());
+    let mut probe: Vec<Vid> = vec![0; vars.len()];
+    for key in keys {
+        let mut acc: Option<f64> = None;
+        for (iv, map) in inputs.iter().zip(&maps) {
+            probe.resize(map.len(), 0);
+            for (slot, &kc) in probe.iter_mut().zip(map) {
+                *slot = key[kc];
+            }
+            if let Some(s) = iv.score_of_row(&probe) {
+                acc = Some(match acc {
+                    None => s,
+                    Some(a) => a.min(s),
+                });
+            }
+        }
+        let score = acc.expect("affected key absent from every input");
+        let changed = old
+            .score_of_row(key)
+            .map_or(true, |s| s.to_bits() != score.to_bits());
+        if changed {
+            nd.push_row(key, score);
+        }
+    }
+    nd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::propagation_score_ids;
+    use lapush_core::{minimal_plans, PlanStore};
+    use lapush_query::{parse_query, QueryShape};
+    use lapush_storage::tuple::tuple;
+
+    fn assert_bitwise(got: &AnswerSet, want: &AnswerSet) {
+        assert_eq!(got.len(), want.len(), "answer count");
+        for (k, &s) in &want.rows {
+            let g = got.score_of(k);
+            assert_eq!(g.to_bits(), s.to_bits(), "score of {k:?}: {g} vs {s}");
+        }
+    }
+
+    fn setup(q_text: &str) -> (lapush_query::Query, PlanStore, Vec<PlanId>) {
+        let q = parse_query(q_text).unwrap();
+        let s = QueryShape::of_query(&q);
+        let mut store = PlanStore::new();
+        let roots: Vec<PlanId> = minimal_plans(&s)
+            .iter()
+            .map(|p| store.intern_plan(p))
+            .collect();
+        (q, store, roots)
+    }
+
+    fn example17_db() -> Database {
+        let mut db = Database::new();
+        let r = db.create_relation("R", 1).unwrap();
+        let s = db.create_relation("S", 1).unwrap();
+        let t = db.create_relation("T", 2).unwrap();
+        let u = db.create_relation("U", 1).unwrap();
+        for x in [1, 2] {
+            db.relation_mut(r).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(s).push(tuple([x]), 0.5).unwrap();
+            db.relation_mut(u).push(tuple([x]), 0.5).unwrap();
+        }
+        for (x, y) in [(1, 1), (1, 2), (2, 2)] {
+            db.relation_mut(t).push(tuple([x, y]), 0.5).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn capture_matches_batch_eval() {
+        let db = example17_db();
+        let (q, store, roots) = setup("q :- R(x), S(x), T(x, y), U(y)");
+        let opts = ExecOptions::default();
+        let inc = IncrementalEval::new(&db, &q, &store, &roots, opts).unwrap();
+        let full = propagation_score_ids(&db, &q, &store, &roots, opts).unwrap();
+        assert_bitwise(inc.answers(), &full);
+    }
+
+    #[test]
+    fn deltas_track_batch_eval_bitwise() {
+        let mut db = example17_db();
+        let (q, store, roots) = setup("q(x) :- R(x), S(x), T(x, y), U(y)");
+        let opts = ExecOptions::default();
+        let mut inc = IncrementalEval::new(&db, &q, &store, &roots, opts).unwrap();
+        // Grow every relation, in several batches, checking after each.
+        for step in 0..4 {
+            let x = 3 + step;
+            db.relation_mut(0).push(tuple([x]), 0.25).unwrap();
+            db.relation_mut(2).push(tuple([x, x]), 0.75).unwrap();
+            if step % 2 == 0 {
+                db.relation_mut(1).push(tuple([x]), 0.5).unwrap();
+                db.relation_mut(3).push(tuple([x]), 0.5).unwrap();
+            }
+            let out = inc.apply_deltas(&db, &q, &store).unwrap();
+            assert_ne!(out, DeltaOutcome::Fallback);
+            let full = propagation_score_ids(&db, &q, &store, &roots, opts).unwrap();
+            assert_bitwise(inc.answers(), &full);
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_unchanged() {
+        let db = example17_db();
+        let (q, store, roots) = setup("q :- R(x), S(x), T(x, y), U(y)");
+        let mut inc =
+            IncrementalEval::new(&db, &q, &store, &roots, ExecOptions::default()).unwrap();
+        assert_eq!(
+            inc.apply_deltas(&db, &q, &store).unwrap(),
+            DeltaOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn filtered_out_rows_are_unchanged() {
+        // Appends that fail the atom's constant filter change nothing.
+        let mut db = example17_db();
+        let (q, store, roots) = setup("q :- R(1), S(x), T(x, y), U(y)");
+        let opts = ExecOptions::default();
+        let mut inc = IncrementalEval::new(&db, &q, &store, &roots, opts).unwrap();
+        db.relation_mut(0).push(tuple([7]), 0.9).unwrap();
+        assert_eq!(
+            inc.apply_deltas(&db, &q, &store).unwrap(),
+            DeltaOutcome::Unchanged
+        );
+        let full = propagation_score_ids(&db, &q, &store, &roots, opts).unwrap();
+        assert_bitwise(inc.answers(), &full);
+    }
+
+    #[test]
+    fn prob_raise_falls_back() {
+        // Re-inserting an existing tuple with a higher probability mutates
+        // a cached scan score in place — the one thing deltas can't fix.
+        let mut db = example17_db();
+        let (q, store, roots) = setup("q :- R(x), S(x), T(x, y), U(y)");
+        let mut inc =
+            IncrementalEval::new(&db, &q, &store, &roots, ExecOptions::default()).unwrap();
+        db.relation_mut(0).push(tuple([1]), 0.9).unwrap();
+        assert_eq!(
+            inc.apply_deltas(&db, &q, &store).unwrap(),
+            DeltaOutcome::Fallback
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_without_raise_is_unchanged() {
+        let mut db = example17_db();
+        let (q, store, roots) = setup("q :- R(x), S(x), T(x, y), U(y)");
+        let mut inc =
+            IncrementalEval::new(&db, &q, &store, &roots, ExecOptions::default()).unwrap();
+        db.relation_mut(0).push(tuple([1]), 0.25).unwrap();
+        assert_eq!(
+            inc.apply_deltas(&db, &q, &store).unwrap(),
+            DeltaOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn unknown_constant_resolving_later() {
+        // The constant 9 is not interned at capture (scan is empty); an
+        // appended tuple introduces it and the delta path must pick the
+        // new answers up.
+        let mut db = example17_db();
+        let (q, store, roots) = setup("q(y) :- T(9, y)");
+        let opts = ExecOptions::default();
+        let mut inc = IncrementalEval::new(&db, &q, &store, &roots, opts).unwrap();
+        assert!(inc.answers().is_empty());
+        db.relation_mut(2).push(tuple([9, 4]), 0.5).unwrap();
+        let out = inc.apply_deltas(&db, &q, &store).unwrap();
+        assert_eq!(out, DeltaOutcome::Updated { rows: 1 });
+        let full = propagation_score_ids(&db, &q, &store, &roots, opts).unwrap();
+        assert_bitwise(inc.answers(), &full);
+    }
+}

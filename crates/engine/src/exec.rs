@@ -275,7 +275,7 @@ impl EvalCtx {
 /// Decode an encoded result into the value-level [`AnswerSet`], reordering
 /// columns to the query's head order. This is the single point where vids
 /// become [`Value`]s again.
-fn decode_answers(rel: &Rel, head: &[Var], codec: &DbCodec<'_>) -> AnswerSet {
+pub(crate) fn decode_answers(rel: &Rel, head: &[Var], codec: &DbCodec<'_>) -> AnswerSet {
     let perm: Vec<usize> = head
         .iter()
         .map(|&v| rel.col_of(v).expect("plan head misses query head var"))
@@ -373,7 +373,7 @@ fn eval_node(
 /// here. The filter pass appends in storage order; the closing
 /// canonicalization (a key-range-partitioned sort when `par` allows)
 /// establishes the operators' sorted invariant.
-fn scan_atom(
+pub(crate) fn scan_atom(
     db: &Database,
     prep: &PreparedAtom,
     q: &Query,

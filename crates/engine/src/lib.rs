@@ -90,8 +90,18 @@
 //! recomputation would have produced, so answer sets are bit-identical to
 //! plan-at-a-time evaluation.
 
+//! ## Incremental evaluation
+//!
+//! [`delta::IncrementalEval`] promotes the `PlanId`-keyed memo to a
+//! persistent cached-view store and consumes append-only database growth
+//! as sorted delta batches, updating every materialized node — and the
+//! answer set — in place with results bit-identical to re-evaluating from
+//! scratch. See [`delta`] for the per-operator delta algebra and its
+//! fallback rules.
+
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod delta;
 pub mod exec;
 pub mod kernels;
 pub mod pool;
@@ -99,6 +109,7 @@ pub mod prepare;
 pub mod rel;
 pub mod semijoin;
 
+pub use delta::{DeltaOutcome, IncrementalEval};
 pub use exec::{
     deterministic_answers, deterministic_answers_par, eval_plan, eval_plan_id, propagation_score,
     propagation_score_ids, AnswerSet, ExecError, ExecOptions, Semantics,

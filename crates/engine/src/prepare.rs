@@ -21,7 +21,7 @@
 //! to reach it.
 
 use lapush_query::{Atom, Query, Term, Var};
-use lapush_storage::{Database, DbCodec, RelId, Relation, Vid};
+use lapush_storage::{Database, DbCodec, DeltaBatch, RelId, Relation, Vid};
 use std::sync::Arc;
 
 /// One atom's encoded base data, read lock-free by the scans.
@@ -153,6 +153,51 @@ impl PreparedAtom {
                 }
             }
             emit(i as u32, row);
+        }
+    }
+
+    /// [`PreparedAtom::for_each_surviving_row`] over a [`DeltaBatch`]
+    /// instead of the full relation: drive `emit` with
+    /// `(base row ordinal, encoded row)` for every batch row passing the
+    /// same constant, repeated-variable, and predicate filters. Batch rows
+    /// are visited in batch (sorted) order. `rel` must be the relation the
+    /// batch was built from.
+    pub fn for_each_surviving_delta_row(
+        &self,
+        rel: &Relation,
+        batch: &DeltaBatch,
+        shape: &ScanShape<'_>,
+        mut emit: impl FnMut(u32, &[Vid]),
+    ) {
+        let Some(const_vids) = &self.consts else {
+            return;
+        };
+        let arity = self.arity;
+        let mut row: Vec<Vid> = vec![0; arity];
+        'rows: for i in 0..batch.len() {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = batch.cell(i, c);
+            }
+            for &(c, vid) in const_vids {
+                if row[c] != vid {
+                    continue 'rows;
+                }
+            }
+            for &(c1, c2) in &shape.eq_filters {
+                if row[c1] != row[c2] {
+                    continue 'rows;
+                }
+            }
+            let ordinal = batch.ordinal(i);
+            if !shape.preds.is_empty() {
+                let values = rel.row(ordinal);
+                for &(c, p) in &shape.preds {
+                    if !p.op.eval(&values[c], &p.value) {
+                        continue 'rows;
+                    }
+                }
+            }
+            emit(ordinal, &row);
         }
     }
 }

@@ -222,6 +222,43 @@ impl Rel {
         None
     }
 
+    /// Range of rows whose first `key.len()` columns equal `key`, via
+    /// binary search over the canonical order. With group columns that are
+    /// a prefix of the column order — the layout [`project_prob_par`]'s
+    /// fast path relies on — this is exactly one projection group's run.
+    pub fn prefix_run(&self, key: &[Vid]) -> std::ops::Range<usize> {
+        debug_assert!(key.len() <= self.arity());
+        let cmp = |row: usize| -> std::cmp::Ordering {
+            for (col, &w) in self.cols[..key.len()].iter().zip(key) {
+                match col[row].cmp(&w) {
+                    std::cmp::Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp(mid) == std::cmp::Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp(mid) == std::cmp::Ordering::Greater {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        start..lo
+    }
+
     fn cmp_row_to(&self, row: usize, want: &[Vid]) -> std::cmp::Ordering {
         for (col, &w) in self.cols.iter().zip(want) {
             match col[row].cmp(&w) {
@@ -701,39 +738,69 @@ pub fn join_many_refs(inputs: &[&Rel]) -> Rel {
     join_many_par(inputs, Par::serial(), &mut Scratch::default())
 }
 
-/// [`join_many_refs`] with a parallelism budget and reusable scratch.
+/// [`join_many_refs`] with a parallelism budget and reusable scratch: fold
+/// the inputs pairwise along the greedy [`join_order`].
 pub fn join_many_par(inputs: &[&Rel], par: Par, scratch: &mut Scratch) -> Rel {
     assert!(!inputs.is_empty(), "join of zero inputs");
     if inputs.len() == 1 {
         return inputs[0].clone();
     }
-    let mut remaining: Vec<&Rel> = inputs.to_vec();
-    // Start with the smallest relation.
-    let start = remaining
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, r)| r.len())
-        .map(|(i, _)| i)
-        .expect("non-empty");
-    let first = remaining.swap_remove(start);
-    let second = remaining.swap_remove(pick_next(&remaining, first));
-    let mut acc = join_par(first, second, par, scratch);
-    while !remaining.is_empty() {
-        let rel = remaining.swap_remove(pick_next(&remaining, &acc));
-        acc = join_par(&acc, rel, par, scratch);
+    let order = join_order(inputs);
+    let mut acc = join_par(inputs[order[0]], inputs[order[1]], par, scratch);
+    for &ix in &order[2..] {
+        acc = join_par(&acc, inputs[ix], par, scratch);
     }
     acc
 }
 
-/// Greedy pick for [`join_many_refs`]: the smallest input sharing a
-/// variable with the accumulator, else (cartesian product unavoidable) the
-/// smallest input overall — one pass, keyed (disconnected, len).
-fn pick_next(remaining: &[&Rel], acc: &Rel) -> usize {
+/// The greedy fold order [`join_many_par`] uses, as original input
+/// indices: start from the smallest input, then repeatedly take the
+/// smallest input sharing a variable with the accumulated result (else —
+/// cartesian product unavoidable — the smallest input overall). The order
+/// depends only on the inputs' variables and row counts, so callers
+/// maintaining cached per-step accumulators (the incremental evaluator)
+/// can recompute it cheaply to detect when their cache matches the order
+/// a fresh evaluation would pick.
+pub fn join_order(inputs: &[&Rel]) -> Vec<usize> {
+    assert!(!inputs.is_empty(), "join of zero inputs");
+    if inputs.len() == 1 {
+        return vec![0];
+    }
+    let mut remaining: Vec<(usize, &Rel)> = inputs.iter().copied().enumerate().collect();
+    // Start with the smallest relation.
+    let start = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, r))| r.len())
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let (i0, first) = remaining.swap_remove(start);
+    let mut order = Vec::with_capacity(inputs.len());
+    order.push(i0);
+    // Accumulated variables stand in for the accumulator itself: the pick
+    // is keyed on connectivity and input size only.
+    let mut acc_vars: Vec<Var> = first.vars.clone();
+    while !remaining.is_empty() {
+        let (ix, rel) = remaining.swap_remove(pick_next(&remaining, &acc_vars));
+        for &v in &rel.vars {
+            if !acc_vars.contains(&v) {
+                acc_vars.push(v);
+            }
+        }
+        order.push(ix);
+    }
+    order
+}
+
+/// Greedy pick for [`join_order`]: the smallest input sharing a variable
+/// with the accumulator, else (cartesian product unavoidable) the smallest
+/// input overall — one pass, keyed (disconnected, len).
+fn pick_next(remaining: &[(usize, &Rel)], acc_vars: &[Var]) -> usize {
     remaining
         .iter()
         .enumerate()
-        .min_by_key(|(_, r)| {
-            let disconnected = r.vars.iter().all(|v| acc.col_of(*v).is_none());
+        .min_by_key(|(_, (_, r))| {
+            let disconnected = r.vars.iter().all(|v| !acc_vars.contains(v));
             (disconnected, r.len())
         })
         .map(|(i, _)| i)
@@ -1022,6 +1089,139 @@ pub fn min_combine_par(inputs: &[&Rel], par: Par, scratch: &mut Scratch) -> Rel 
     out
 }
 
+// ---------------------------------------------------------------------------
+// Delta merges: the incremental evaluator's primitives
+// ---------------------------------------------------------------------------
+
+/// Compare row `i` of `a` with row `j` of `b` lexicographically. Both
+/// relations must have the same column layout.
+fn cmp_rows(a: &Rel, i: usize, b: &Rel, j: usize) -> std::cmp::Ordering {
+    debug_assert_eq!(a.vars, b.vars);
+    for (ac, bc) in a.cols.iter().zip(&b.cols) {
+        match ac[i].cmp(&bc[j]) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn push_from(out: &mut Rel, src: &Rel, row: usize) {
+    for (col, sc) in out.cols.iter_mut().zip(&src.cols) {
+        col.push(sc[row]);
+    }
+    out.scores.push(src.scores[row]);
+}
+
+/// Merge a sorted delta into a sorted base: keys only in `base` keep their
+/// rows, keys only in `delta` are inserted, and on equal keys the delta's
+/// score wins. Both inputs must be canonical with the same column layout;
+/// the result is canonical. This is how the incremental evaluator folds a
+/// node's effective delta (new rows plus rows whose score changed) into
+/// that node's cached view.
+pub fn merge_upsert(base: &Rel, delta: &Rel) -> Rel {
+    base.assert_canonical();
+    delta.assert_canonical();
+    debug_assert_eq!(base.vars, delta.vars);
+    if delta.is_empty() {
+        return base.clone();
+    }
+    let mut out = Rel::with_capacity(base.vars.clone(), base.len() + delta.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() && j < delta.len() {
+        match cmp_rows(base, i, delta, j) {
+            std::cmp::Ordering::Less => {
+                push_from(&mut out, base, i);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                push_from(&mut out, delta, j);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                push_from(&mut out, delta, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    while i < base.len() {
+        push_from(&mut out, base, i);
+        i += 1;
+    }
+    while j < delta.len() {
+        push_from(&mut out, delta, j);
+        j += 1;
+    }
+    out.assert_canonical();
+    out
+}
+
+/// The effective delta taking `old` to `new`: every row of `new` that is
+/// absent from `old` or whose score differs **bitwise**. Both inputs must
+/// be canonical over the same variable *set*; `old`'s key set must be a
+/// subset of `new`'s (views only grow under append-only ingest). Used by
+/// the incremental evaluator when a node had to be recomputed wholesale
+/// and the change must still propagate as a delta.
+///
+/// A recomputed join can emit its columns in a different *order* than the
+/// captured view (the greedy join order moved with the data); comparing
+/// rows positionally across permuted layouts would mislabel rows, so
+/// `old` is first permuted into `new`'s layout and re-sorted.
+pub fn diff_changed(new: &Rel, old: &Rel) -> Rel {
+    new.assert_canonical();
+    old.assert_canonical();
+    if new.vars != old.vars {
+        let cols: Vec<Vec<Vid>> = new
+            .vars
+            .iter()
+            .map(|&v| old.cols[old.col_of(v).expect("same variable set")].clone())
+            .collect();
+        let aligned = Rel::from_unsorted_columns(new.vars.clone(), cols, old.scores.clone());
+        return diff_changed(new, &aligned);
+    }
+    let mut out = Rel::empty(new.vars.clone());
+    let mut i = 0usize;
+    for j in 0..new.len() {
+        while i < old.len() && cmp_rows(old, i, new, j) == std::cmp::Ordering::Less {
+            i += 1;
+        }
+        let unchanged = i < old.len()
+            && cmp_rows(old, i, new, j) == std::cmp::Ordering::Equal
+            && old.scores[i].to_bits() == new.scores[j].to_bits();
+        if !unchanged {
+            push_from(&mut out, new, j);
+        }
+    }
+    out.assert_canonical();
+    out
+}
+
+/// Independent-OR fold over the contiguous row range `lo..hi` of a
+/// canonical relation — the same kernel call, over the same operand
+/// sequence, as [`project_prob_par`]'s grouped fold of that run.
+pub(crate) fn fold_run_or(rel: &Rel, lo: usize, hi: usize) -> f64 {
+    let keys: Vec<Key> = (lo..hi)
+        .map(|r| Key {
+            k: 0,
+            row: r as u32,
+        })
+        .collect();
+    kernels::fold_or(&rel.scores, &keys)
+}
+
+/// Max fold over the contiguous row range `lo..hi` (the
+/// [`project_max_par`] group fold).
+pub(crate) fn fold_run_max(rel: &Rel, lo: usize, hi: usize) -> f64 {
+    let keys: Vec<Key> = (lo..hi)
+        .map(|r| Key {
+            k: 0,
+            row: r as u32,
+        })
+        .collect();
+    kernels::fold_max(&rel.scores, &keys)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1288,6 +1488,100 @@ mod tests {
         for (a, b) in p_serial.scores().iter().zip(p_par.scores()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn join_order_matches_join_many_fold() {
+        let r = rel(&[0, 1], &[(&[1, 2], 0.5), (&[2, 3], 0.4)]);
+        let s = rel(&[1, 2], &[(&[2, 3], 0.5)]);
+        let t = rel(&[2, 3], &[(&[3, 4], 0.5), (&[3, 5], 0.6), (&[9, 9], 0.1)]);
+        let inputs = [&r, &t, &s];
+        let order = join_order(&inputs);
+        // Smallest first (s), then connected picks.
+        assert_eq!(order[0], 2);
+        let mut scratch = Scratch::default();
+        let mut acc = join_par(
+            inputs[order[0]],
+            inputs[order[1]],
+            Par::serial(),
+            &mut scratch,
+        );
+        for &ix in &order[2..] {
+            acc = join_par(&acc, inputs[ix], Par::serial(), &mut scratch);
+        }
+        let direct = join_many_par(&inputs, Par::serial(), &mut scratch);
+        assert_eq!(acc, direct);
+        for (a, b) in acc.scores().iter().zip(direct.scores()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_upsert_inserts_and_replaces() {
+        let base = rel(&[0], &[(&[1], 0.5), (&[3], 0.3)]);
+        let delta = rel(&[0], &[(&[2], 0.9), (&[3], 0.7)]);
+        let m = merge_upsert(&base, &delta);
+        assert_eq!(m.len(), 3);
+        assert!((score_at(&m, &[1]) - 0.5).abs() < 1e-12);
+        assert!((score_at(&m, &[2]) - 0.9).abs() < 1e-12);
+        assert!((score_at(&m, &[3]) - 0.7).abs() < 1e-12);
+        m.assert_canonical();
+        // Empty delta clones the base.
+        let e = merge_upsert(&base, &Rel::empty(base.vars.clone()));
+        assert_eq!(e, base);
+    }
+
+    #[test]
+    fn diff_changed_detects_bitwise_changes() {
+        let old = rel(&[0], &[(&[1], 0.5), (&[2], 0.25)]);
+        let new = rel(&[0], &[(&[1], 0.5), (&[2], 0.75), (&[3], 0.1)]);
+        let d = diff_changed(&new, &old);
+        assert_eq!(d.len(), 2);
+        assert!((score_at(&d, &[2]) - 0.75).abs() < 1e-12);
+        assert!((score_at(&d, &[3]) - 0.1).abs() < 1e-12);
+        assert!(d.score_of_row(&[vid(1)]).is_none());
+        // No change: empty diff.
+        assert!(diff_changed(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn diff_changed_aligns_permuted_column_layouts() {
+        // A recomputed join can emit its columns in a different order than
+        // the captured view; the diff must align by variable, not position.
+        // Rows (x=1,y=2) and (x=2,y=1) coincide positionally once the
+        // layouts are swapped, so a positional diff would mislabel both.
+        let old = rel(&[0, 1], &[(&[1, 2], 0.5), (&[2, 1], 0.25)]);
+        let new = rel(&[1, 0], &[(&[2, 1], 0.5), (&[1, 2], 0.25), (&[3, 3], 0.1)]);
+        let d = diff_changed(&new, &old);
+        assert_eq!(d.vars, new.vars);
+        assert_eq!(d.len(), 1);
+        assert!((score_at(&d, &[3, 3]) - 0.1).abs() < 1e-12);
+        // Same rows in permuted layout: empty diff.
+        let same = rel(&[1, 0], &[(&[2, 1], 0.5), (&[1, 2], 0.25)]);
+        assert!(diff_changed(&same, &old).is_empty());
+    }
+
+    #[test]
+    fn prefix_run_and_refold_match_projection() {
+        let r = rel(
+            &[0, 1],
+            &[
+                (&[1, 10], 0.5),
+                (&[1, 11], 0.25),
+                (&[2, 12], 0.3),
+                (&[2, 13], 0.4),
+                (&[2, 14], 0.5),
+            ],
+        );
+        let run = r.prefix_run(&[vid(2)]);
+        assert_eq!(run, 2..5);
+        assert_eq!(r.prefix_run(&[vid(9)]), 5..5);
+        let p = project_prob(&r, &[v(0)]);
+        let refolded = fold_run_or(&r, run.start, run.end);
+        assert_eq!(refolded.to_bits(), score_at(&p, &[2]).to_bits());
+        let pm = project_max(&r, &[v(0)]);
+        let refolded_max = fold_run_max(&r, 0, 2);
+        assert_eq!(refolded_max.to_bits(), score_at(&pm, &[1]).to_bits());
     }
 
     #[test]

@@ -8,12 +8,21 @@
 //! server reuses the interned DAG verbatim.
 //!
 //! **Answer cache** — keyed by the query's canonical display text and
-//! stamped with the [`DbStamp`] (relation and cell counts) the answer was
-//! computed against. Relations are append-only — tuples are never removed
-//! or rewritten in place — so "the counts still match" is a *complete*
-//! freshness check (the same argument that lets the storage codec reuse
-//! encoded column prefixes). A lookup under a newer stamp drops the stale
-//! entry and counts an invalidation.
+//! stamped with the [`DbStamp`] (relation, cell, and probability-epoch
+//! counts) the answer was computed against. Relations are append-only —
+//! tuples are never removed — and the epoch component covers the one kind
+//! of in-place rewrite that exists (a duplicate insert raising a tuple's
+//! probability), so "the stamp still matches" is a *complete* freshness
+//! check (the cell half is the same argument that lets the storage codec
+//! reuse encoded column prefixes). A lookup under a newer stamp drops the
+//! stale entry and counts an invalidation — but entries rarely go stale:
+//! each one carries the [`IncrementalEval`] state it was computed with,
+//! and [`AnswerCache::apply_deltas`] (run by `INGEST` under the database
+//! write lock) merges the appended tuples into the cached answers in
+//! place, re-stamping them fresh. Only batches the delta algebra cannot
+//! absorb (an in-place probability mutation) drop the entry and force the
+//! next lookup to recompute; the `delta.*` counters in `STATS` report
+//! both paths.
 //!
 //! Both caches evict least-recently-used entries beyond a fixed capacity
 //! and expose their counters through [`CacheStats`] for the `STATS`
@@ -22,7 +31,8 @@
 //! `fig_serve` bench gate them exactly.
 
 use lapush_core::{PlanId, PlanStore, ShapeKey};
-use lapush_engine::AnswerSet;
+use lapush_engine::{AnswerSet, DeltaOutcome, IncrementalEval};
+use lapush_query::Query;
 use lapush_storage::{Database, FxHashMap};
 use std::sync::Arc;
 
@@ -126,39 +136,87 @@ impl PlanCache {
     }
 }
 
-/// Freshness stamp of a database: relation count plus total cell count
-/// (values and the probability column). Relations are append-only, so
-/// any ingest strictly grows the stamp and `stamp equality ⇒ identical
-/// contents since the answer was computed`.
+/// Freshness stamp of a database: relation count, total cell count
+/// (values and the probability column), and total probability epoch.
+/// Relations are append-only, so any ingest strictly grows the cell
+/// count; the one in-place mutation that exists — a duplicate insert
+/// raising a tuple's probability — bumps a relation's
+/// [`prob_epoch`](lapush_storage::Relation::prob_epoch) instead. Any
+/// change therefore strictly grows the stamp and `stamp equality ⇒
+/// identical contents since the answer was computed`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbStamp {
     /// Number of relations.
     pub relations: u64,
     /// Total cells: `Σ len × (arity + 1)` over all relations.
     pub cells: u64,
+    /// Total in-place probability mutations: `Σ prob_epoch`.
+    pub epochs: u64,
 }
 
 impl DbStamp {
     /// Stamp of a database's current contents.
     pub fn of(db: &Database) -> Self {
+        let mut cells = 0;
+        let mut epochs = 0;
+        for (_, r) in db.relations() {
+            cells += (r.len() * (r.arity() + 1)) as u64;
+            epochs += r.prob_epoch();
+        }
         DbStamp {
             relations: db.relation_count() as u64,
-            cells: db
-                .relations()
-                .map(|(_, r)| (r.len() * (r.arity() + 1)) as u64)
-                .sum(),
+            cells,
+            epochs,
         }
     }
 }
 
+/// Cumulative incremental-maintenance counters (the `delta.*` lines of
+/// `STATS`). All deterministic functions of the request history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Cached answers advanced in place by an ingest batch (one count per
+    /// ingest × surviving cached entry, whether or not any answer row
+    /// changed).
+    pub batches: u64,
+    /// Answer tuples inserted or re-scored by those merges.
+    pub rows: u64,
+    /// Cached answers dropped because their state could not absorb a
+    /// batch (an in-place probability mutation, or an evaluation error).
+    pub fallbacks: u64,
+}
+
+/// The incremental-evaluation state behind one cached answer: the parsed
+/// query, the cached plan it was evaluated with, and the captured
+/// per-node views ([`IncrementalEval`]).
+pub struct CachedState {
+    /// Parsed query (drives apply-time scan filtering and answer
+    /// decoding).
+    pub query: Query,
+    /// Plan DAG the state was captured against.
+    pub plan: Arc<CachedPlan>,
+    /// Captured views and maintained answers.
+    pub eval: IncrementalEval,
+}
+
+struct Entry {
+    stamp: DbStamp,
+    answers: Arc<AnswerSet>,
+    /// `None` entries (inserted without state) cannot be maintained and
+    /// are dropped — counted as fallbacks — on the next ingest.
+    state: Option<CachedState>,
+}
+
 /// Answer/score cache: canonical query text → scored answers, stamped
-/// with the database state they were computed against.
-#[derive(Debug)]
+/// with the database state they were computed against and carrying the
+/// incremental state that lets [`AnswerCache::apply_deltas`] keep them
+/// fresh across ingests.
 pub struct AnswerCache {
     cap: usize,
     tick: u64,
-    map: FxHashMap<String, (u64, (DbStamp, Arc<AnswerSet>))>,
+    map: FxHashMap<String, (u64, Entry)>,
     stats: CacheStats,
+    delta: DeltaStats,
 }
 
 impl AnswerCache {
@@ -169,6 +227,7 @@ impl AnswerCache {
             tick: 0,
             map: FxHashMap::default(),
             stats: CacheStats::default(),
+            delta: DeltaStats::default(),
         }
     }
 
@@ -179,10 +238,10 @@ impl AnswerCache {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
-            Some((last, (cached_stamp, ans))) if *cached_stamp == stamp => {
+            Some((last, entry)) if entry.stamp == stamp => {
                 *last = tick;
                 self.stats.hits += 1;
-                Some(ans.clone())
+                Some(entry.answers.clone())
             }
             Some(_) => {
                 self.map.remove(key);
@@ -198,14 +257,64 @@ impl AnswerCache {
     }
 
     /// Insert a freshly computed answer, evicting the least-recently-used
-    /// entry when at capacity.
-    pub fn insert(&mut self, key: String, stamp: DbStamp, ans: Arc<AnswerSet>) {
+    /// entry when at capacity. `state` is the incremental-evaluation
+    /// state that will keep the entry fresh across ingests; entries
+    /// inserted without one are dropped on the next ingest instead.
+    pub fn insert(
+        &mut self,
+        key: String,
+        stamp: DbStamp,
+        ans: Arc<AnswerSet>,
+        state: Option<CachedState>,
+    ) {
         self.tick += 1;
         if !self.map.contains_key(&key) && self.map.len() >= self.cap {
             evict_lru(&mut self.map);
             self.stats.evictions += 1;
         }
-        self.map.insert(key, (self.tick, (stamp, ans)));
+        let entry = Entry {
+            stamp,
+            answers: ans,
+            state,
+        };
+        self.map.insert(key, (self.tick, entry));
+    }
+
+    /// Merge everything appended to `db` since each entry's stamp into
+    /// the cached answers, in place. Callers (the server's `INGEST`
+    /// handler) invoke this under the database *write* lock, so the
+    /// stamps move atomically with the data. Entries whose state cannot
+    /// absorb the growth — an in-place probability mutation, an
+    /// evaluation error, or a stateless entry — are dropped and counted
+    /// in [`DeltaStats::fallbacks`]; every surviving entry is re-stamped
+    /// to `stamp` (fresh), so mixed query/ingest workloads keep hitting
+    /// the cache instead of recomputing.
+    pub fn apply_deltas(&mut self, db: &Database, stamp: DbStamp) {
+        let keys: Vec<String> = self.map.keys().cloned().collect();
+        for key in keys {
+            let (_, entry) = self.map.get_mut(&key).expect("key just listed");
+            let Some(state) = entry.state.as_mut() else {
+                self.map.remove(&key);
+                self.delta.fallbacks += 1;
+                continue;
+            };
+            match state.eval.apply_deltas(db, &state.query, &state.plan.store) {
+                Ok(DeltaOutcome::Unchanged) => {
+                    entry.stamp = stamp;
+                    self.delta.batches += 1;
+                }
+                Ok(DeltaOutcome::Updated { rows }) => {
+                    entry.answers = Arc::new(state.eval.answers().clone());
+                    entry.stamp = stamp;
+                    self.delta.batches += 1;
+                    self.delta.rows += rows as u64;
+                }
+                Ok(DeltaOutcome::Fallback) | Err(_) => {
+                    self.map.remove(&key);
+                    self.delta.fallbacks += 1;
+                }
+            }
+        }
     }
 
     /// Number of cached answers.
@@ -221,6 +330,11 @@ impl AnswerCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Incremental-maintenance counter snapshot.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta
     }
 }
 
@@ -280,7 +394,7 @@ mod tests {
         });
         let stamp = DbStamp::of(&db);
         assert!(cache.lookup("q", stamp).is_none());
-        cache.insert("q".into(), stamp, ans.clone());
+        cache.insert("q".into(), stamp, ans.clone(), None);
         assert!(cache.lookup("q", stamp).is_some());
         // Append-only growth changes the stamp and invalidates.
         db.relation_mut(0)
@@ -304,7 +418,7 @@ mod tests {
         });
         let mut cache = AnswerCache::new(2);
         for key in ["a", "b", "c"] {
-            cache.insert(key.into(), stamp, ans.clone());
+            cache.insert(key.into(), stamp, ans.clone(), None);
         }
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
@@ -319,5 +433,92 @@ mod tests {
         let stamp = DbStamp::of(&db);
         assert_eq!(stamp.relations, 1);
         assert_eq!(stamp.cells, 2); // 1 row × (arity 1 + prob)
+        assert_eq!(stamp.epochs, 0);
+    }
+
+    #[test]
+    fn db_stamp_detects_in_place_probability_mutations() {
+        // A duplicate insert that raises a probability leaves the cell
+        // count alone; only the epoch component catches it.
+        let mut db = tiny_db();
+        let before = DbStamp::of(&db);
+        db.relation_mut(0)
+            .push(Box::new([Value::Int(1)]), 0.9)
+            .unwrap();
+        let after = DbStamp::of(&db);
+        assert_eq!(before.cells, after.cells);
+        assert_ne!(before, after);
+        assert_eq!(after.epochs, 1);
+    }
+
+    fn state_for(db: &Database, text: &str) -> (String, CachedState) {
+        let q = parse_query(text).unwrap();
+        let key = q.display();
+        let schema = SchemaInfo::from_query(&q);
+        let mut store = PlanStore::new();
+        let root = single_plan_id(&mut store, &q, &schema, EnumOptions::default());
+        let plan = Arc::new(CachedPlan { store, root });
+        let eval = IncrementalEval::new(
+            db,
+            &q,
+            &plan.store,
+            std::slice::from_ref(&plan.root),
+            lapush_engine::ExecOptions::default(),
+        )
+        .unwrap();
+        (
+            key,
+            CachedState {
+                query: q,
+                plan,
+                eval,
+            },
+        )
+    }
+
+    #[test]
+    fn apply_deltas_keeps_entries_fresh_across_ingest() {
+        let mut db = tiny_db();
+        let mut cache = AnswerCache::new(8);
+        let (key, state) = state_for(&db, "q(x) :- R(x)");
+        let ans = Arc::new(state.eval.answers().clone());
+        cache.insert(key.clone(), DbStamp::of(&db), ans, Some(state));
+        db.relation_mut(0)
+            .push(Box::new([Value::Int(2)]), 0.25)
+            .unwrap();
+        let grown = DbStamp::of(&db);
+        cache.apply_deltas(&db, grown);
+        // The entry was merged and re-stamped: the lookup hits (no
+        // invalidation) and sees the new answer.
+        let got = cache.lookup(&key, grown).expect("merged entry must hit");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.score_of(&[Value::Int(2)]), 0.25);
+        let d = cache.delta_stats();
+        assert_eq!((d.batches, d.rows, d.fallbacks), (1, 1, 0));
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn apply_deltas_drops_what_it_cannot_maintain() {
+        let mut db = tiny_db();
+        let mut cache = AnswerCache::new(8);
+        let empty = Arc::new(AnswerSet {
+            vars: vec![],
+            rows: FxHashMap::default(),
+        });
+        let stamp = DbStamp::of(&db);
+        // A stateless entry is dropped on the next ingest.
+        cache.insert("stateless".into(), stamp, empty, None);
+        // A stateful entry survives growth but not an in-place mutation.
+        let (key, state) = state_for(&db, "q(x) :- R(x)");
+        let ans = Arc::new(state.eval.answers().clone());
+        cache.insert(key.clone(), stamp, ans, Some(state));
+        db.relation_mut(0)
+            .push(Box::new([Value::Int(1)]), 0.9)
+            .unwrap();
+        cache.apply_deltas(&db, DbStamp::of(&db));
+        assert_eq!(cache.len(), 0);
+        let d = cache.delta_stats();
+        assert_eq!((d.batches, d.rows, d.fallbacks), (0, 0, 2));
     }
 }

@@ -61,7 +61,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{AnswerCache, CacheStats, CachedPlan, DbStamp, PlanCache};
+pub use cache::{AnswerCache, CacheStats, CachedPlan, CachedState, DbStamp, DeltaStats, PlanCache};
 pub use client::Client;
 pub use protocol::{
     err_response, parse_request, read_frame, render_answers, render_key, write_frame, ErrorCode,

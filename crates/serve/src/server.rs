@@ -3,23 +3,26 @@
 //!
 //! One [`Server`] owns one shared [`Database`] behind an `RwLock` —
 //! queries evaluate under a read lock (the engine is `Send`-safe end to
-//! end, so any number run concurrently), `INGEST` takes the write lock —
-//! plus the [`PlanCache`] and [`AnswerCache`] behind mutexes held only
-//! for lookups/inserts (and, for the plan cache, the query-level
-//! enumeration on a miss), never across plan *execution*.
+//! end, so any number run concurrently), `INGEST` takes the write lock
+//! and, while holding it, merges the appended tuples into every cached
+//! answer in place ([`AnswerCache::apply_deltas`]) — plus the
+//! [`PlanCache`] and [`AnswerCache`] behind mutexes held only for
+//! lookups/inserts/merges (and, for the plan cache, the query-level
+//! enumeration on a miss), never across plan *execution*. The lock order
+//! is always database before answer cache.
 //!
 //! Connections are `std::thread`-per-connection and detached: a
 //! connection thread exits when its client disconnects or sends `QUIT`.
 //! [`ServerHandle::shutdown`] stops the accept loop (new connections are
 //! refused; existing ones drain on their own when their clients hang up).
 
-use crate::cache::{AnswerCache, CacheStats, CachedPlan, DbStamp, PlanCache};
+use crate::cache::{AnswerCache, CacheStats, CachedPlan, CachedState, DbStamp, PlanCache};
 use crate::protocol::{
     err_response, parse_request, read_frame, render_answers, write_frame, ErrorCode, Request,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use lapush_core::{single_plan_id, EnumOptions, PlanStore, SchemaInfo, ShapeKey};
-use lapush_engine::{eval_plan_id, ExecOptions, Semantics};
+use lapush_engine::{ExecOptions, IncrementalEval, Semantics};
 use lapush_query::parse_query;
 use lapush_storage::csv::{relation_from_text, CsvOptions};
 use lapush_storage::Database;
@@ -269,22 +272,42 @@ fn run_query(shared: &Shared, text: &str) -> String {
         reuse_views: true,
         threads: shared.threads,
     };
-    let ans = match eval_plan_id(&db, &q, &plan.store, plan.root, exec) {
-        Ok(ans) => Arc::new(ans),
-        Err(e) => return err_response(ErrorCode::Exec, &e.to_string()),
-    };
+    // Capture-evaluate: bit-identical answers to plain evaluation, plus
+    // the per-node views that let `INGEST` advance this entry in place
+    // instead of invalidating it.
+    let eval =
+        match IncrementalEval::new(&db, &q, &plan.store, std::slice::from_ref(&plan.root), exec) {
+            Ok(eval) => eval,
+            Err(e) => return err_response(ErrorCode::Exec, &e.to_string()),
+        };
+    let ans = Arc::new(eval.answers().clone());
     shared
         .answers
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .insert(key, stamp, ans.clone());
+        .insert(
+            key,
+            stamp,
+            ans.clone(),
+            Some(CachedState {
+                query: q,
+                plan,
+                eval,
+            }),
+        );
     shared.queries_served.fetch_add(1, Ordering::SeqCst);
     render_answers(&ans)
 }
 
 /// `INGEST`: append CSV rows (last column = probability) to a relation,
-/// creating it when new. The answer cache needs no explicit flush — the
-/// database stamp grows, so stale entries self-invalidate on next lookup.
+/// creating it when new, then merge the appended tuples into every cached
+/// answer in place ([`AnswerCache::apply_deltas`]) while still holding
+/// the database write lock — surviving entries come out re-stamped fresh,
+/// so interleaved queries keep hitting the cache. Entries the delta
+/// algebra cannot maintain (an in-place probability raise from a
+/// duplicate insert) are dropped and recomputed on their next lookup; if
+/// an append fails partway, the cache is left stale and ordinary stamp
+/// invalidation takes over.
 fn run_ingest(shared: &Shared, relation: &str, rows: &str) -> String {
     let parsed = match relation_from_text(relation, rows, CsvOptions::default()) {
         Ok(rel) => rel,
@@ -320,6 +343,12 @@ fn run_ingest(shared: &Shared, relation: &str, rows: &str) -> String {
             len
         }
     };
+    let stamp = DbStamp::of(&db);
+    shared
+        .answers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .apply_deltas(&db, stamp);
     format!("OK ingested {appended} tuples into {relation} (total {total})")
 }
 
@@ -335,9 +364,9 @@ fn render_stats(shared: &Shared) -> String {
         let plans = shared.plans.lock().unwrap_or_else(|e| e.into_inner());
         (plans.stats(), plans.len())
     };
-    let (ans_stats, ans_len) = {
+    let (ans_stats, ans_len, delta) = {
         let answers = shared.answers.lock().unwrap_or_else(|e| e.into_inner());
-        (answers.stats(), answers.len())
+        (answers.stats(), answers.len(), answers.delta_stats())
     };
     let cache_lines = |name: &str, s: CacheStats, len: usize| {
         format!(
@@ -354,10 +383,13 @@ fn render_stats(shared: &Shared) -> String {
     // skips it by design. Deterministic per machine/environment; scripted
     // sessions that byte-diff STATS pin it with `LAPUSH_KERNELS`.
     format!(
-        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}\nkernels.path={}",
+        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\ndelta.batches={}\ndelta.rows={}\ndelta.fallbacks={}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}\nkernels.path={}",
         shared.queries_served.load(Ordering::SeqCst),
         cache_lines("plan_cache", plan_stats, plan_len),
         cache_lines("answer_cache", ans_stats, ans_len),
+        delta.batches,
+        delta.rows,
+        delta.fallbacks,
         pool.scopes,
         pool.tasks,
         pool.inline,

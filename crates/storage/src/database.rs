@@ -1,5 +1,6 @@
 //! The probabilistic database: a catalog of relations.
 
+use crate::delta::DeltaBatch;
 use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
 use crate::intern::{ValueInterner, Vid};
@@ -78,6 +79,27 @@ impl DbCodec<'_> {
         let enc: Arc<[Vid]> = vids.into();
         self.inner.rels[idx] = Some(enc.clone());
         enc
+    }
+
+    /// The appendix of relation `id` beyond a `base_rows`-tuple prefix, as
+    /// a sorted columnar [`DeltaBatch`] sharing vids with the cached base
+    /// encoding (this call refreshes it via [`DbCodec::encoded`], interning
+    /// only the appended rows). An up-to-date `base_rows == rel.len()`
+    /// yields an empty batch.
+    pub fn delta_batch(&mut self, id: RelId, base_rows: usize) -> DeltaBatch {
+        let cells = self.encoded(id);
+        let rel = self.db.relation(id);
+        let arity = rel.arity();
+        let rows: Vec<(Vec<Vid>, u32, f64)> = (base_rows..rel.len())
+            .map(|i| {
+                (
+                    cells[i * arity..(i + 1) * arity].to_vec(),
+                    i as u32,
+                    rel.prob(i as u32),
+                )
+            })
+            .collect();
+        DeltaBatch::from_rows(id, base_rows, arity, rows)
     }
 
     /// Id of a value, if interned. Only meaningful after [`DbCodec::encoded`]
@@ -384,6 +406,35 @@ mod tests {
         let again = codec.encoded(0);
         assert_eq!(enc, again);
         assert_eq!(codec.interner().len(), n);
+    }
+
+    #[test]
+    fn delta_batch_covers_exactly_the_appendix() {
+        let mut db = sample_db();
+        {
+            let mut codec = db.codec();
+            codec.encoded(0);
+        }
+        let base = db.relation(0).len();
+        db.relation_mut(0).push(tuple([9]), 0.9).unwrap();
+        db.relation_mut(0).push(tuple([3]), 0.3).unwrap();
+        let mut codec = db.codec();
+        let b = codec.delta_batch(0, base);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.base_rows(), base);
+        // Sorted by vid, sharing vids with the full encoding.
+        let enc = codec.encoded(0);
+        let mut want: Vec<Vid> = vec![enc[base], enc[base + 1]];
+        want.sort_unstable();
+        assert_eq!(b.col(0), &want[..]);
+        // Ordinals point back at the stored rows; probs match.
+        for i in 0..b.len() {
+            let at = b.ordinal(i);
+            assert_eq!(codec.decode(b.cell(i, 0)), &db.relation(0).row(at)[0]);
+            assert_eq!(b.prob(i), db.relation(0).prob(at));
+        }
+        // Up-to-date prefix: empty batch.
+        assert!(codec.delta_batch(0, db.relation(0).len()).is_empty());
     }
 
     #[test]

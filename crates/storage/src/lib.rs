@@ -31,6 +31,7 @@
 
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod fxhash;
 pub mod intern;
@@ -41,6 +42,7 @@ pub mod value;
 
 pub use csv::{database_from_dir, relation_from_text, CsvError, CsvOptions};
 pub use database::{Database, DbCodec, RelId};
+pub use delta::DeltaBatch;
 pub use error::StorageError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use intern::{pack_vids, RowKey, ValueInterner, Vid};

@@ -54,6 +54,12 @@ pub struct Relation {
     fds: Vec<Fd>,
     /// Dedup index: tuple → row ordinal.
     index: FxHashMap<Tuple, u32>,
+    /// Bumped whenever an *existing* row's probability changes in place
+    /// (duplicate insert raising it, [`Relation::set_prob`], or
+    /// [`Relation::scale_probs`]). Appends leave it untouched, so
+    /// `(len, prob_epoch)` is a complete freshness stamp for consumers
+    /// that cache derived state over the append-only prefix.
+    prob_epoch: u64,
 }
 
 impl Relation {
@@ -67,6 +73,7 @@ impl Relation {
             deterministic: false,
             fds: Vec::new(),
             index: FxHashMap::default(),
+            prob_epoch: 0,
         }
     }
 
@@ -167,7 +174,10 @@ impl Relation {
         }
         if let Some(&at) = self.index.get(&row) {
             let slot = &mut self.probs[at as usize];
-            *slot = slot.max(prob);
+            if prob > *slot {
+                *slot = prob;
+                self.prob_epoch += 1;
+            }
             return Ok(at);
         }
         let at = self.rows.len() as u32;
@@ -224,6 +234,9 @@ impl Relation {
         if f < 1.0 {
             self.deterministic = false;
         }
+        if f != 1.0 && !self.probs.is_empty() {
+            self.prob_epoch += 1;
+        }
         for p in &mut self.probs {
             *p = (*p * f).clamp(0.0, 1.0);
         }
@@ -240,8 +253,19 @@ impl Relation {
         if self.deterministic && prob < 1.0 {
             self.deterministic = false;
         }
-        self.probs[at as usize] = prob;
+        let slot = &mut self.probs[at as usize];
+        if slot.to_bits() != prob.to_bits() {
+            *slot = prob;
+            self.prob_epoch += 1;
+        }
         Ok(())
+    }
+
+    /// Counter of in-place probability mutations (see the field docs).
+    /// Appends never bump it; together with [`Relation::len`] it stamps the
+    /// exact state of the relation for incremental consumers.
+    pub fn prob_epoch(&self) -> u64 {
+        self.prob_epoch
     }
 
     /// Active domain of one column: the distinct values appearing in it.
@@ -316,6 +340,33 @@ mod tests {
         r.scale_probs(0.5);
         assert!(!r.is_deterministic());
         assert_eq!(r.prob(0), 0.5);
+    }
+
+    #[test]
+    fn prob_epoch_tracks_in_place_mutations_only() {
+        let mut r = Relation::new("R", 1);
+        assert_eq!(r.prob_epoch(), 0);
+        // Appends never bump the epoch.
+        r.push(tuple([1]), 0.3).unwrap();
+        r.push(tuple([2]), 0.4).unwrap();
+        assert_eq!(r.prob_epoch(), 0);
+        // A duplicate insert that does not raise the probability is a no-op.
+        r.push(tuple([1]), 0.2).unwrap();
+        r.push(tuple([1]), 0.3).unwrap();
+        assert_eq!(r.prob_epoch(), 0);
+        // Raising it in place bumps.
+        r.push(tuple([1]), 0.9).unwrap();
+        assert_eq!(r.prob_epoch(), 1);
+        // set_prob bumps only when the bits change.
+        r.set_prob(0, 0.9).unwrap();
+        assert_eq!(r.prob_epoch(), 1);
+        r.set_prob(0, 0.5).unwrap();
+        assert_eq!(r.prob_epoch(), 2);
+        // Scaling bumps once (a whole-relation mutation); f = 1 does not.
+        r.scale_probs(1.0);
+        assert_eq!(r.prob_epoch(), 2);
+        r.scale_probs(0.5);
+        assert_eq!(r.prob_epoch(), 3);
     }
 
     #[test]

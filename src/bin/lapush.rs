@@ -39,6 +39,15 @@
 //! $ lapush serve --data ./facts --bind 127.0.0.1:7878 --threads 2 &
 //! $ lapush client --addr 127.0.0.1:7878 < session.txt
 //! ```
+//!
+//! `ingest` appends CSV rows from stdin to a served relation; with
+//! `--stream` rows are sent in `--batch`-sized chunks as they arrive,
+//! and the server merges each batch into its cached answers in place:
+//!
+//! ```console
+//! $ tail -f rows.csv | lapush ingest --addr 127.0.0.1:7878 \
+//!       --relation R --stream --batch 50
+//! ```
 
 use lapushdb::prelude::*;
 use lapushdb::serve::{Client, Server, ServerConfig};
@@ -68,6 +77,12 @@ fn main() {
         Some("client") => {
             if let Err(e) = run_client() {
                 eprintln!("lapush client: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("ingest") => {
+            if let Err(e) = run_ingest_cmd() {
+                eprintln!("lapush ingest: {e}");
                 std::process::exit(1);
             }
         }
@@ -160,6 +175,67 @@ fn run_client() -> Result<(), Box<dyn std::error::Error>> {
     for request in split_requests(&stdin) {
         let response = client.request(&request)?;
         println!("{response}\n");
+    }
+    Ok(())
+}
+
+/// `lapush ingest --addr HOST:PORT --relation NAME [--batch N]
+/// [--stream] [--retry N]`: append CSV rows (last column = probability)
+/// from stdin to a relation of a running server.
+///
+/// By default all of stdin is read first and sent as one `INGEST`
+/// request. With `--stream`, rows are sent as soon as `--batch` of them
+/// (default 100) have been read, so a live producer's tuples become
+/// queryable — and are merged into the server's cached answers — while
+/// the pipe is still open. Each server response is echoed to stdout; the
+/// first `ERR` aborts with a non-zero exit.
+fn run_ingest_cmd() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = arg("addr").ok_or("missing --addr HOST:PORT")?;
+    let relation = arg("relation").ok_or("missing --relation NAME")?;
+    let batch: usize = match arg("batch") {
+        Some(b) => b
+            .parse()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or("--batch needs a positive integer")?,
+        None => 100,
+    };
+    let stream_mode = std::env::args().any(|a| a == "--stream");
+    let retries: u32 = match arg("retry") {
+        Some(r) => r
+            .parse()
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or("--retry needs a positive integer")?,
+        None => 1,
+    };
+    let mut client = Client::connect_retry(
+        addr.as_str(),
+        retries,
+        std::time::Duration::from_millis(250),
+    )?;
+    let send = |client: &mut Client, rows: &[String]| -> Result<(), Box<dyn std::error::Error>> {
+        let response = client.request(&format!("INGEST {relation}\n{}", rows.join("\n")))?;
+        println!("{response}");
+        if response.starts_with("ERR") {
+            return Err("server rejected the batch".into());
+        }
+        Ok(())
+    };
+    let mut pending: Vec<String> = Vec::new();
+    for line in std::io::stdin().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push(line);
+        if stream_mode && pending.len() >= batch {
+            send(&mut client, &pending)?;
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        send(&mut client, &pending)?;
     }
     Ok(())
 }

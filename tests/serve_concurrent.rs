@@ -1,7 +1,8 @@
 //! Integration tests for `lapush serve`: concurrent clients get answers
 //! bit-identical to direct `Database` evaluation, repeated queries hit
-//! the caches, and ingest between repeated queries invalidates the
-//! answer cache.
+//! the caches, and ingest between repeated queries merges the appended
+//! tuples into the cached answers in place (the `delta.*` counters) —
+//! including while other clients are querying concurrently.
 
 use lapushdb::engine::pool;
 use lapushdb::prelude::*;
@@ -104,7 +105,7 @@ fn concurrent_clients_get_bit_identical_answers_and_cache_hits() {
 }
 
 #[test]
-fn ingest_between_repeated_queries_invalidates_answers() {
+fn ingest_between_repeated_queries_merges_deltas_in_place() {
     let db = rst_db();
     let handle = Server::bind_with_db(db.clone(), ServerConfig::default())
         .unwrap()
@@ -122,14 +123,16 @@ fn ingest_between_repeated_queries_invalidates_answers() {
     assert_eq!(client.request(query).unwrap(), before);
 
     // Ingest must change the answers (a fresh x=5 chain with p=1 tuples
-    // scores 0.5 through S and outranks every existing answer).
+    // scores 0.5 through S and outranks every existing answer). Each
+    // append is merged into the cached answer in place: the first two
+    // complete no new chain (Unchanged), the T tuple finishes one.
     let resp = client.request("INGEST R\n5,1.0").unwrap();
     assert_eq!(resp, "OK ingested 1 tuples into R (total 5)");
     client.request("INGEST S\n5,5,0.5").unwrap();
     client.request("INGEST T\n5,1.0").unwrap();
 
     let after = client.request(query).unwrap();
-    assert_ne!(after, before, "ingest must invalidate the cached answer");
+    assert_ne!(after, before, "ingest must update the cached answer");
     let mut grown = db.clone();
     grown
         .relation_mut(0)
@@ -149,10 +152,115 @@ fn ingest_between_repeated_queries_invalidates_answers() {
     );
 
     let stats = client.request("STATS").unwrap();
-    assert_eq!(stat(&stats, "answer_cache.invalidations"), Some(1));
-    // Shape unchanged: the re-query after ingest was a plan-cache hit.
+    // Nothing was invalidated: all three ingests were absorbed by the
+    // delta path, so the post-ingest re-query was an answer-cache *hit*
+    // (2 hits total with the earlier repeat) and the plan cache was never
+    // consulted again.
+    assert_eq!(stat(&stats, "answer_cache.invalidations"), Some(0));
+    assert_eq!(stat(&stats, "answer_cache.hits"), Some(2));
+    assert_eq!(stat(&stats, "answer_cache.misses"), Some(1));
     assert_eq!(stat(&stats, "plan_cache.misses"), Some(1));
-    assert_eq!(stat(&stats, "plan_cache.hits"), Some(1));
+    assert_eq!(stat(&stats, "plan_cache.hits"), Some(0));
+    // One batch per ingest × one cached entry; only the chain-completing
+    // T tuple changed an answer row (the new x=5 answer).
+    assert_eq!(stat(&stats, "delta.batches"), Some(3));
+    assert_eq!(stat(&stats, "delta.rows"), Some(1));
+    assert_eq!(stat(&stats, "delta.fallbacks"), Some(0));
+    handle.shutdown();
+}
+
+#[test]
+fn streamed_ingest_keeps_concurrent_queries_fresh() {
+    let db = rst_db();
+    let handle = Server::bind_with_db(db.clone(), ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    // Warm all three entries serially so every subsequent ingest merges
+    // into exactly this cached set — the delta counters below depend only
+    // on the request *history*, not on how the threads interleave.
+    let queries = [
+        "q(x) :- R(x), S(x, y), T(y)",
+        "q :- R(x), S(x, y), T(y)",
+        "q(y) :- S(2, y), T(y)",
+    ];
+    let mut warm = Client::connect(addr).unwrap();
+    for q in &queries {
+        assert!(warm
+            .request(&format!("QUERY {q}"))
+            .unwrap()
+            .starts_with("OK "));
+    }
+
+    // One ingester streams six complete x=5..=10 chains, one relation at
+    // a time, while three clients keep querying. Appends never raise an
+    // existing probability, so no entry ever falls back: the cache stays
+    // populated and every concurrent query is a hit against an answer
+    // merged up to some prefix of the stream.
+    const CHAINS: i64 = 6;
+    const ROUNDS: usize = 12;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(move || {
+        let mut ingester = Client::connect(addr).unwrap();
+        for i in 5..5 + CHAINS {
+            for body in [
+                format!("INGEST R\n{i},0.9"),
+                format!("INGEST S\n{i},{i},0.5"),
+                format!("INGEST T\n{i},0.8"),
+            ] {
+                let resp = ingester.request(&body).unwrap();
+                assert!(resp.starts_with("OK ingested 1 "), "{resp}");
+            }
+        }
+    })];
+    for c in 0..3usize {
+        tasks.push(Box::new(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for round in 0..ROUNDS {
+                let q = queries[(c + round) % queries.len()];
+                let resp = client.request(&format!("QUERY {q}")).unwrap();
+                assert!(resp.starts_with("OK "), "client {c} round {round}: {resp}");
+            }
+        }));
+    }
+    pool::run_scope(tasks.len(), tasks);
+
+    // After the stream drains, the cached answers must equal evaluating
+    // the fully-grown database from scratch — bit for bit.
+    let mut grown = db.clone();
+    for i in 5..5 + CHAINS {
+        grown
+            .relation_mut(0)
+            .push(Box::new([Value::Int(i)]), 0.9)
+            .unwrap();
+        grown
+            .relation_mut(1)
+            .push(Box::new([Value::Int(i), Value::Int(i)]), 0.5)
+            .unwrap();
+        grown
+            .relation_mut(2)
+            .push(Box::new([Value::Int(i)]), 0.8)
+            .unwrap();
+    }
+    for q in &queries {
+        let got = warm.request(&format!("QUERY {q}")).unwrap();
+        assert_eq!(got, expected_response(&grown, q), "query `{q}`");
+    }
+
+    let stats = warm.request("STATS").unwrap();
+    // The warmup fixed the cache at three entries and in-place merging
+    // kept all of them fresh, so the only misses ever taken are the three
+    // warmup ones — even though 18 ingests landed mid-traffic.
+    assert_eq!(stat(&stats, "answer_cache.misses"), Some(3));
+    assert_eq!(stat(&stats, "answer_cache.invalidations"), Some(0));
+    assert_eq!(stat(&stats, "delta.fallbacks"), Some(0));
+    // 18 ingests × 3 cached entries. Per chain, only the T append
+    // completes new answers: one re-scored row for `q(x)` and one for the
+    // boolean query (`q(y) :- S(2, y), T(y)` never joins x ≥ 5), so the
+    // stream changes 2 rows per chain.
+    assert_eq!(stat(&stats, "delta.batches"), Some(3 * 3 * CHAINS as u64));
+    assert_eq!(stat(&stats, "delta.rows"), Some(2 * CHAINS as u64));
     handle.shutdown();
 }
 
