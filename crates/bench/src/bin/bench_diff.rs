@@ -13,8 +13,11 @@
 //! change is correctness drift), and median wall time against the
 //! baseline target's relative budget (`threshold_rel` in the baseline
 //! JSON, `--threshold F` to override). A baseline target or metric
-//! missing from the current set is a hard failure; current targets
-//! without a baseline are reported as `NEW` but pass.
+//! missing from the current set is a hard failure; baseline targets
+//! absent from the current run (usually stale `BENCH_*.json` files for
+//! deleted experiments) are aggregated into one block listing the stale
+//! files with a regeneration hint; current targets without a baseline
+//! are reported as `NEW` but pass.
 //!
 //! Flags: `--no-checksums` / `--no-values` skip the exact comparisons
 //! (useful while intentionally changing results before regenerating
@@ -27,7 +30,9 @@
 //! are likewise refused unless `--cross-kernels` is passed — the kernel
 //! determinism gate, same exact-checksum discipline.
 
-use lapush_bench::diff::{diff_sets, has_failures, DiffOptions};
+use lapush_bench::diff::{
+    diff_sets, has_failures, stale_baseline_note, stale_targets, DiffOptions, Verdict,
+};
 use lapush_bench::report::load_dir;
 use lapush_bench::{arg, flag};
 use std::path::PathBuf;
@@ -65,10 +70,23 @@ fn main() {
 
     let entries = diff_sets(&baselines, &currents, opts);
     let failures = entries.iter().filter(|e| e.verdict.is_failure()).count();
+    // Baselines whose target is absent from the current run are reported
+    // as one aggregated stale-baseline block below, not one cryptic
+    // MISSING line each.
     for entry in &entries {
+        if entry.verdict == Verdict::MissingTarget {
+            continue;
+        }
         if entry.verdict.is_failure() || !quiet {
             println!("{entry}");
         }
+    }
+    let stale = stale_targets(&entries);
+    if !stale.is_empty() {
+        println!(
+            "{}",
+            stale_baseline_note(&stale, &baseline_dir.display().to_string())
+        );
     }
     println!(
         "\nbench-diff: {} baseline target(s), {} comparison(s), {} failure(s)",

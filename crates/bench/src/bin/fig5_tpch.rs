@@ -83,6 +83,7 @@ fn main() {
                     opt: OptLevel::Opt12,
                     use_schema: false,
                     threads: lapush_bench::threads(),
+                    top_k: None,
                 },
             )
             .expect("diss")
@@ -95,6 +96,7 @@ fn main() {
                     opt: OptLevel::Opt123,
                     use_schema: false,
                     threads: lapush_bench::threads(),
+                    top_k: None,
                 },
             )
             .expect("diss+opt3")

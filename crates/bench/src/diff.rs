@@ -369,6 +369,44 @@ pub fn has_failures(entries: &[DiffEntry]) -> bool {
     entries.iter().any(|e| e.verdict.is_failure())
 }
 
+/// The targets of every [`Verdict::MissingTarget`] entry, in input order —
+/// baseline reports whose target is absent from the current run. These are
+/// almost always *stale baselines*: `BENCH_<target>.json` files committed
+/// for an experiment that has since been deleted or renamed. `bench-diff`
+/// aggregates them into one actionable block (see
+/// [`stale_baseline_note`]) instead of printing a confusing per-target
+/// `MISSING` stream.
+pub fn stale_targets(entries: &[DiffEntry]) -> Vec<&str> {
+    entries
+        .iter()
+        .filter(|e| e.verdict == Verdict::MissingTarget)
+        .map(|e| e.target.as_str())
+        .collect()
+}
+
+/// Human-readable summary for a non-empty set of stale baseline targets:
+/// lists the stale `BENCH_<target>.json` files under `baseline_dir` and
+/// suggests how to resolve them. The condition is still a gate failure —
+/// either the baselines are stale (delete the files) or the current run
+/// silently dropped an experiment (a real regression) — this note only
+/// replaces the one-line-per-target error with something actionable.
+pub fn stale_baseline_note(stale: &[&str], baseline_dir: &str) -> String {
+    let mut out = format!(
+        "{} baseline target(s) have no report in the current run; stale files:\n",
+        stale.len()
+    );
+    for target in stale {
+        out.push_str(&format!("  {baseline_dir}/BENCH_{target}.json\n"));
+    }
+    out.push_str(
+        "If these experiments were removed on purpose, delete the files above\n\
+         (or regenerate the full set: LAPUSH_KERNELS=scalar lapush bench --quick\n\
+         --out <baseline-dir>); otherwise the current run dropped them — rerun\n\
+         the full suite before diffing.",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,6 +650,33 @@ mod tests {
             &cur,
             DiffOptions::default()
         )));
+    }
+
+    #[test]
+    fn stale_targets_collects_missing_targets_only() {
+        let old1 = report_with(vec![Metric::timing("a", vec![1.0])]);
+        let mut old2 = Report::new("t_gone", Scale::Quick);
+        old2.push(Metric::value("v", 1.0));
+        let live = old1.clone();
+        let entries = diff_sets(
+            &[old1, old2],
+            std::slice::from_ref(&live),
+            DiffOptions::default(),
+        );
+        assert_eq!(stale_targets(&entries), vec!["t_gone"]);
+        // Stale baselines are still a gate failure, just better-reported.
+        assert!(has_failures(&entries));
+
+        let note = stale_baseline_note(&stale_targets(&entries), "benches/baselines");
+        assert!(note.contains("benches/baselines/BENCH_t_gone.json"));
+        assert!(note.contains("regenerate"), "{note}");
+    }
+
+    #[test]
+    fn stale_targets_empty_on_clean_diff() {
+        let set = vec![report_with(vec![Metric::timing("a", vec![1.0])])];
+        let entries = diff_sets(&set, &set, DiffOptions::default());
+        assert!(stale_targets(&entries).is_empty());
     }
 
     #[test]

@@ -275,12 +275,12 @@ pub fn ap_against(sys: &AnswerSet, gt: &AnswerSet, k: usize) -> f64 {
 /// Average probability of the top-`k` ground-truth answers (the paper's
 /// `avg[pa]`).
 pub fn avg_top_answer_prob(gt: &AnswerSet, k: usize) -> f64 {
-    let ranked = gt.ranked();
-    let top: Vec<f64> = ranked.iter().take(k).map(|(_, s)| *s).collect();
+    // `ranked_top` keeps a k-bounded heap instead of sorting all answers.
+    let top = gt.ranked_top(k);
     if top.is_empty() {
         0.0
     } else {
-        top.iter().sum::<f64>() / top.len() as f64
+        top.iter().map(|(_, s)| *s).sum::<f64>() / top.len() as f64
     }
 }
 
@@ -400,6 +400,7 @@ pub fn run_method(db: &Database, q: &Query, m: Method) -> (usize, Duration) {
         opt,
         use_schema: false,
         threads,
+        top_k: None,
     };
     let t0 = Instant::now();
     let n = match m {

@@ -171,6 +171,67 @@ impl AnswerSet {
         v.into_iter().map(|(k, s)| (k.clone(), s)).collect()
     }
 
+    /// The top `k` of [`AnswerSet::ranked`] without sorting — or cloning —
+    /// the full answer set: a bounded binary heap keeps the best `k`
+    /// entries seen so far (`O(n log k)`), and only those are sorted and
+    /// cloned on output. The (score, key) order is total and keys are
+    /// distinct, so the result is exactly `ranked()` truncated to `k`.
+    pub fn ranked_top(&self, k: usize) -> Vec<(Box<[Value]>, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        if k >= self.len() {
+            return self.ranked();
+        }
+        // Entries order by *rank*: `Greater` means ranked later (worse),
+        // so the max-heap's top is the worst of the kept k.
+        struct Entry<'a>(&'a [Value], f64);
+        impl Entry<'_> {
+            fn rank_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .1
+                    .partial_cmp(&self.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| self.0.cmp(other.0))
+            }
+        }
+        impl PartialEq for Entry<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.rank_cmp(other).is_eq()
+            }
+        }
+        impl Eq for Entry<'_> {}
+        impl PartialOrd for Entry<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.rank_cmp(other)
+            }
+        }
+        let mut heap: std::collections::BinaryHeap<Entry<'_>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (key, &score) in &self.rows {
+            let e = Entry(key, score);
+            if heap.len() < k {
+                heap.push(e);
+            } else if e
+                .rank_cmp(heap.peek().expect("heap holds k entries"))
+                .is_lt()
+            {
+                heap.pop();
+                heap.push(e);
+            }
+        }
+        // Ascending heap order *is* rank order: best first.
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|Entry(key, s)| (Box::from(key), s))
+            .collect()
+    }
+
     /// Combine with another answer set by per-tuple maximum (used to pick
     /// the best lower bound across plans).
     pub fn max_with(&mut self, other: &AnswerSet) {
@@ -241,7 +302,7 @@ pub fn eval_plan_id(
 /// views) hand out another reference to the same relation. `Arc`, not
 /// `Rc`: the memo crosses task boundaries in the parallel outer
 /// loop of [`propagation_score_ids`].
-type ShRel = Arc<Rel>;
+pub(crate) type ShRel = Arc<Rel>;
 
 /// Per-evaluation memoization state: one memo keyed by [`PlanId`], plus
 /// the parallelism budget and the reusable sort scratch shared by every
@@ -254,15 +315,15 @@ type ShRel = Arc<Rel>;
 /// [`propagation_score`] it makes identical subplans of different minimal
 /// plans evaluate exactly once. Either way a hit returns the same relation
 /// the recomputation would produce, so results are bit-identical.
-struct EvalCtx {
-    memo: FxHashMap<PlanId, ShRel>,
-    memo_all: bool,
-    par: Par,
-    scratch: Scratch,
+pub(crate) struct EvalCtx {
+    pub(crate) memo: FxHashMap<PlanId, ShRel>,
+    pub(crate) memo_all: bool,
+    pub(crate) par: Par,
+    pub(crate) scratch: Scratch,
 }
 
 impl EvalCtx {
-    fn new(memo_all: bool, par: Par) -> Self {
+    pub(crate) fn new(memo_all: bool, par: Par) -> Self {
         EvalCtx {
             memo: FxHashMap::default(),
             memo_all,
@@ -295,7 +356,7 @@ pub(crate) fn decode_answers(rel: &Rel, head: &[Var], codec: &DbCodec<'_>) -> An
     }
 }
 
-fn eval_node(
+pub(crate) fn eval_node(
     db: &Database,
     prepared: &[PreparedAtom],
     q: &Query,
@@ -408,6 +469,108 @@ pub(crate) fn scan_atom(
     out
 }
 
+/// Per-atom variable-membership filter for restricted (top-k survivor)
+/// evaluation: a row survives the scan only if, for every listed term
+/// column, its vid is in the allowed set. Built by [`crate::topk`] from
+/// the surviving answer groups' head-variable values.
+pub(crate) struct ScanFilter {
+    /// `(term column index into the atom's encoded row, allowed vids)`.
+    pub(crate) sets: Vec<(usize, lapush_storage::FxHashSet<Vid>)>,
+}
+
+/// [`scan_atom`] with an additional [`ScanFilter`]: identical filter,
+/// scoring, and canonicalization pipeline, so the surviving rows come out
+/// bit-identical to their counterparts in the unfiltered scan.
+#[allow(clippy::too_many_arguments)] // mirrors scan_atom's pipeline + filter
+pub(crate) fn scan_atom_filtered(
+    db: &Database,
+    prep: &PreparedAtom,
+    q: &Query,
+    atom: &Atom,
+    filter: &ScanFilter,
+    opts: ExecOptions,
+    par: Par,
+    scratch: &mut Scratch,
+) -> Rel {
+    let rel = db.relation(prep.rel);
+    let shape = ScanShape::of(q, atom);
+    let mut out = Rel::with_capacity(shape.out_vars.clone(), 0);
+    let mut row_buf: Vec<Vid> = vec![0; shape.out_cols.len()];
+    prep.for_each_surviving_row(rel, &shape, |i, row| {
+        for (c, set) in &filter.sets {
+            if !set.contains(&row[*c]) {
+                return;
+            }
+        }
+        for (slot, &c) in row_buf.iter_mut().zip(&shape.out_cols) {
+            *slot = row[c];
+        }
+        let score = match opts.semantics {
+            Semantics::Probabilistic | Semantics::LowerBound => rel.prob(i),
+            Semantics::Deterministic => 1.0,
+        };
+        out.push_row(&row_buf, score);
+    });
+    out.canonicalize(par, scratch);
+    out
+}
+
+/// Cheap per-root cost estimate over a plan set: reachable plan-node
+/// count × total input cardinality (summed lengths of the scanned
+/// relations; a relation missing from the database counts 0 — evaluation
+/// surfaces the error later). Deliberately crude: it only has to separate
+/// cheap roots from expensive ones so the plan-set loop and the top-k
+/// driver can evaluate cheapest-first.
+pub fn plan_cost_estimates(
+    db: &Database,
+    q: &Query,
+    store: &PlanStore,
+    roots: &[PlanId],
+) -> Vec<(PlanId, u64)> {
+    roots
+        .iter()
+        .map(|&root| {
+            let mut seen: lapush_storage::FxHashSet<PlanId> = Default::default();
+            let mut nodes = 0u64;
+            let mut rows = 0u64;
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                nodes += 1;
+                match &store.node(id).kind {
+                    NodeKind::Scan { atom } => {
+                        if let Ok(rel) = db.relation_by_name(&q.atoms()[*atom].relation) {
+                            rows += rel.len() as u64;
+                        }
+                    }
+                    NodeKind::Project { input } => stack.push(*input),
+                    NodeKind::Join { inputs } | NodeKind::Min { inputs } => {
+                        stack.extend(inputs.iter().copied())
+                    }
+                }
+            }
+            (root, nodes * rows.max(1))
+        })
+        .collect()
+}
+
+/// `roots` reordered cheapest-first by [`plan_cost_estimates`]; ties keep
+/// their input order (stable sort), so the result is a deterministic
+/// permutation for a fixed database and plan set.
+pub fn order_plans_by_cost(
+    db: &Database,
+    q: &Query,
+    store: &PlanStore,
+    roots: &[PlanId],
+) -> Vec<PlanId> {
+    let est = plan_cost_estimates(db, q, store, roots);
+    let mut idx: Vec<usize> = (0..roots.len()).collect();
+    idx.sort_by_key(|&i| est[i].1);
+    idx.into_iter().map(|i| roots[i]).collect()
+}
+
 /// Evaluate a set of plans and combine their scores with a per-tuple
 /// minimum: the propagation score `ρ(q)` when given all minimal plans
 /// (Definition 14).
@@ -440,6 +603,13 @@ pub fn propagation_score(
 /// of the pre-computed memo. Per-root results are folded with
 /// [`min_into_par`] in root order, so the answer is bit-identical to the
 /// serial evaluation.
+///
+/// Multi-plan sets are evaluated cheapest-first ([`order_plans_by_cost`]):
+/// the accumulator starts from the smallest evaluation, and the anytime
+/// top-k driver's threshold tightens fastest. The pointwise `min` over
+/// probability scores (no NaNs, no signed zeros) is exactly commutative
+/// and associative, so the reordering is invisible in the result — every
+/// score stays bit-identical to the enumeration-order fold.
 pub fn propagation_score_ids(
     db: &Database,
     q: &Query,
@@ -447,6 +617,13 @@ pub fn propagation_score_ids(
     roots: &[PlanId],
     opts: ExecOptions,
 ) -> Result<AnswerSet, ExecError> {
+    let ordered: Vec<PlanId>;
+    let roots: &[PlanId] = if roots.len() > 1 {
+        ordered = order_plans_by_cost(db, q, store, roots);
+        &ordered
+    } else {
+        roots
+    };
     let (&first_root, rest) = roots.split_first().expect("no plans to evaluate");
     let prepared = prepare_atoms(db, q)?;
     let threads = opts.threads.max(1);

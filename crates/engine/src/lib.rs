@@ -108,11 +108,14 @@ pub mod pool;
 pub mod prepare;
 pub mod rel;
 pub mod semijoin;
+pub mod topk;
 
 pub use delta::{DeltaOutcome, IncrementalEval};
 pub use exec::{
-    deterministic_answers, deterministic_answers_par, eval_plan, eval_plan_id, propagation_score,
-    propagation_score_ids, AnswerSet, ExecError, ExecOptions, Semantics,
+    deterministic_answers, deterministic_answers_par, eval_plan, eval_plan_id, order_plans_by_cost,
+    plan_cost_estimates, propagation_score, propagation_score_ids, AnswerSet, ExecError,
+    ExecOptions, Semantics,
 };
 pub use rel::{Par, Rel, Scratch};
 pub use semijoin::reduce_database;
+pub use topk::{propagation_score_topk, TopkEval, TopkResult, TopkStats};

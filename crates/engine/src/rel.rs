@@ -69,7 +69,7 @@ impl Par {
     }
 
     /// How many morsels to cut `n` rows into (1 = stay serial).
-    fn morsels(self, n: usize) -> usize {
+    pub(crate) fn morsels(self, n: usize) -> usize {
         if self.threads <= 1 || n < MIN_PAR_ROWS {
             1
         } else {
@@ -272,6 +272,19 @@ impl Rel {
     /// Restore the canonical invariant: sort rows lexicographically by all
     /// columns and combine duplicates with `max`.
     pub fn canonicalize(&mut self, par: Par, scratch: &mut Scratch) {
+        self.canonicalize_impl(None, par, scratch);
+    }
+
+    /// [`Rel::canonicalize`] that also carries an auxiliary score column
+    /// (the lower-bound column of a [`crate::topk`] bounds evaluation)
+    /// through the same permutation, folding duplicates with `max` like the
+    /// primary column.
+    pub(crate) fn canonicalize_aux(&mut self, aux: &mut Vec<f64>, par: Par, scratch: &mut Scratch) {
+        debug_assert_eq!(aux.len(), self.len());
+        self.canonicalize_impl(Some(aux), par, scratch);
+    }
+
+    fn canonicalize_impl(&mut self, aux: Option<&mut Vec<f64>>, par: Par, scratch: &mut Scratch) {
         let n = self.len();
         if n <= 1 {
             return;
@@ -284,11 +297,15 @@ impl Rel {
         let keys = &*keys;
         let mut keep: Vec<u32> = Vec::with_capacity(n);
         let mut scores: Vec<f64> = Vec::with_capacity(n);
+        let mut aux_scores: Vec<f64> = Vec::new();
         let mut pos = 0usize;
         while pos < n {
             let end = run_end_full(&cols, keys, pos);
             keep.push(keys[pos].row);
             scores.push(kernels::fold_max(&self.scores, &keys[pos..end]));
+            if let Some(a) = aux.as_deref() {
+                aux_scores.push(kernels::fold_max(a, &keys[pos..end]));
+            }
             pos = end;
         }
         let identity = keep.len() == n && keep.iter().enumerate().all(|(i, &r)| r as usize == i);
@@ -301,6 +318,9 @@ impl Rel {
             }
         }
         self.scores = scores;
+        if let Some(a) = aux {
+            *a = aux_scores;
+        }
     }
 
     /// Debug check of the canonical invariant (sorted, distinct).
@@ -539,6 +559,35 @@ pub fn join(left: &Rel, right: &Rel) -> Rel {
 /// (whole blocks, never splitting one) across pool tasks writing
 /// disjoint output ranges.
 pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel {
+    join_impl(left, right, None, par, scratch).0
+}
+
+/// [`join_par`] carrying one auxiliary score column per input through the
+/// same sort/merge pass: auxiliary scores multiply exactly like the primary
+/// ones and ride the same output permutation. This is the single-pass
+/// `[lo, hi]` join of the anytime top-k bounds evaluation ([`crate::topk`]):
+/// the primary column is the independent-OR upper bound, the auxiliary one
+/// the single-best-derivation lower bound. The returned primary relation is
+/// bit-identical to `join_par(left, right)`.
+pub(crate) fn join_aux_par(
+    left: &Rel,
+    laux: &[f64],
+    right: &Rel,
+    raux: &[f64],
+    par: Par,
+    scratch: &mut Scratch,
+) -> (Rel, Vec<f64>) {
+    let (rel, aux) = join_impl(left, right, Some((laux, raux)), par, scratch);
+    (rel, aux.expect("aux column requested"))
+}
+
+fn join_impl(
+    left: &Rel,
+    right: &Rel,
+    aux: Option<(&[f64], &[f64])>,
+    par: Par,
+    scratch: &mut Scratch,
+) -> (Rel, Option<Vec<f64>>) {
     left.assert_canonical();
     right.assert_canonical();
     // Determine shared and right-only columns.
@@ -604,7 +653,16 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     let w_left = left.arity();
     let mut out_cols: Vec<Vec<Vid>> = vec![vec![0; m]; out_vars.len()];
     let mut out_scores: Vec<f64> = vec![0.0; m];
-    let fill = |blocks: &[Block], cols: &mut [&mut [Vid]], scores: &mut [f64], base: usize| {
+    let mut out_aux: Vec<f64> = if aux.is_some() {
+        vec![0.0; m]
+    } else {
+        Vec::new()
+    };
+    let fill = |blocks: &[Block],
+                cols: &mut [&mut [Vid]],
+                scores: &mut [f64],
+                auxs: &mut [f64],
+                base: usize| {
         for b in blocks {
             let mut at = b.out - base;
             for le in &lkeys[b.l0..b.l1] {
@@ -620,6 +678,9 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
                         };
                     }
                     scores[at] = ls * right.score(rrow);
+                    if let Some((la, ra)) = aux {
+                        auxs[at] = la[lrow] * ra[rrow];
+                    }
                     at += 1;
                 }
             }
@@ -629,7 +690,7 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     if morsels <= 1 {
         let mut col_slices: Vec<&mut [Vid]> =
             out_cols.iter_mut().map(|c| c.as_mut_slice()).collect();
-        fill(&blocks, &mut col_slices, &mut out_scores, 0);
+        fill(&blocks, &mut col_slices, &mut out_scores, &mut out_aux, 0);
     } else {
         // Cut the block list so each morsel owns a near-equal share of the
         // output rows; blocks stay whole, so writes are disjoint ranges.
@@ -646,6 +707,7 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
         let mut col_rests: Vec<&mut [Vid]> =
             out_cols.iter_mut().map(|c| c.as_mut_slice()).collect();
         let mut score_rest: &mut [f64] = &mut out_scores;
+        let mut aux_rest: &mut [f64] = &mut out_aux;
         let mut tasks = Vec::with_capacity(cuts.len());
         for w in cuts.windows(2) {
             let (b0, b1) = (w[0], w[1]);
@@ -666,11 +728,15 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
                 .collect();
             let (sc, tail) = score_rest.split_at_mut(take);
             score_rest = tail;
+            // The aux buffer is empty when no aux columns ride along; the
+            // zero-length split keeps the task signature uniform.
+            let (ax, atail) = aux_rest.split_at_mut(if aux.is_some() { take } else { 0 });
+            aux_rest = atail;
             let chunk = &blocks[b0..b1];
             let fill = &fill;
             tasks.push(move || {
                 let mut outs = outs;
-                fill(chunk, &mut outs, sc, base);
+                fill(chunk, &mut outs, sc, ax, base);
             });
         }
         crate::pool::run_scope(par.threads, tasks);
@@ -684,8 +750,13 @@ pub fn join_par(left: &Rel, right: &Rel, par: Par, scratch: &mut Scratch) -> Rel
     // Join rows are distinct (the key plus both rests determine the pair),
     // but the emission order is (join key, left, right) — restore the
     // canonical lexicographic order.
-    out.canonicalize(par, scratch);
-    out
+    if aux.is_some() {
+        out.canonicalize_aux(&mut out_aux, par, scratch);
+        (out, Some(out_aux))
+    } else {
+        out.canonicalize(par, scratch);
+        (out, None)
+    }
 }
 
 /// Compare the key at sorted position `i` of the left order with the key at
@@ -823,6 +894,41 @@ enum ProjFold {
 }
 
 fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &mut Scratch) -> Rel {
+    project_fold_impl(input, None, keep, fold, par, scratch).0
+}
+
+/// Probabilistic projection that also folds an auxiliary lower-bound score
+/// column over the same group runs, in the same pass: the primary column
+/// folds with independent-OR (the upper bound, bit-identical to
+/// [`project_prob_par`]) and the auxiliary column with `max` (the best
+/// single derivation — exactly [`project_max_par`]'s fold). Used by the
+/// anytime top-k bounds evaluation ([`crate::topk`]).
+pub(crate) fn project_bounds_par(
+    input: &Rel,
+    aux: &[f64],
+    keep: &[Var],
+    par: Par,
+    scratch: &mut Scratch,
+) -> (Rel, Vec<f64>) {
+    let (rel, aux) = project_fold_impl(
+        input,
+        Some(aux),
+        keep,
+        ProjFold::IndependentOr,
+        par,
+        scratch,
+    );
+    (rel, aux.expect("aux column requested"))
+}
+
+fn project_fold_impl(
+    input: &Rel,
+    aux: Option<&[f64]>,
+    keep: &[Var],
+    fold: ProjFold,
+    par: Par,
+    scratch: &mut Scratch,
+) -> (Rel, Option<Vec<f64>>) {
     input.assert_canonical();
     let cols_idx: Vec<usize> = keep
         .iter()
@@ -838,36 +944,43 @@ fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &m
     let keys = &*keys;
 
     // Find group run boundaries; morsels take whole runs.
-    let run_fold =
-        |lo: usize, hi: usize, out_cols: &mut Vec<Vec<Vid>>, out_scores: &mut Vec<f64>| {
-            let mut pos = lo;
-            while pos < hi {
-                let end = run_end_full(&key_cols, keys, pos).min(hi);
-                let score = match fold {
-                    ProjFold::IndependentOr => {
-                        // Folded in sorted-run order (strict serial
-                        // association inside the kernel): a defined, total
-                        // order, so the float product is reproducible.
-                        kernels::fold_or(input.scores(), &keys[pos..end])
-                    }
-                    ProjFold::Max => kernels::fold_max(input.scores(), &keys[pos..end]),
-                    ProjFold::One => 1.0,
-                };
-                let row = keys[pos].row as usize;
-                for (out, &kc) in out_cols.iter_mut().zip(&key_cols) {
-                    out.push(kc[row]);
+    let run_fold = |lo: usize,
+                    hi: usize,
+                    out_cols: &mut Vec<Vec<Vid>>,
+                    out_scores: &mut Vec<f64>,
+                    out_aux: &mut Vec<f64>| {
+        let mut pos = lo;
+        while pos < hi {
+            let end = run_end_full(&key_cols, keys, pos).min(hi);
+            let score = match fold {
+                ProjFold::IndependentOr => {
+                    // Folded in sorted-run order (strict serial
+                    // association inside the kernel): a defined, total
+                    // order, so the float product is reproducible.
+                    kernels::fold_or(input.scores(), &keys[pos..end])
                 }
-                out_scores.push(score);
-                pos = end;
+                ProjFold::Max => kernels::fold_max(input.scores(), &keys[pos..end]),
+                ProjFold::One => 1.0,
+            };
+            if let Some(a) = aux {
+                out_aux.push(kernels::fold_max(a, &keys[pos..end]));
             }
-        };
+            let row = keys[pos].row as usize;
+            for (out, &kc) in out_cols.iter_mut().zip(&key_cols) {
+                out.push(kc[row]);
+            }
+            out_scores.push(score);
+            pos = end;
+        }
+    };
 
     let morsels = par.morsels(n);
-    let (out_cols, out_scores) = if morsels <= 1 {
+    let (out_cols, out_scores, out_aux) = if morsels <= 1 {
         let mut out_cols: Vec<Vec<Vid>> = vec![Vec::new(); keep.len()];
         let mut out_scores: Vec<f64> = Vec::new();
-        run_fold(0, n, &mut out_cols, &mut out_scores);
-        (out_cols, out_scores)
+        let mut out_aux: Vec<f64> = Vec::new();
+        run_fold(0, n, &mut out_cols, &mut out_scores, &mut out_aux);
+        (out_cols, out_scores, out_aux)
     } else {
         // Advance each cut to the next group boundary so no run straddles
         // two morsels (the fold order inside a group is then identical to
@@ -884,27 +997,32 @@ fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &m
             }
         }
         bounds.push(n);
-        let mut parts: Vec<(Vec<Vec<Vid>>, Vec<f64>)> = bounds
+        // Per-morsel partial output: group key columns, primary scores,
+        // and lower bounds.
+        type BoundsPart = (Vec<Vec<Vid>>, Vec<f64>, Vec<f64>);
+        let mut parts: Vec<BoundsPart> = bounds
             .windows(2)
-            .map(|_| (vec![Vec::new(); keep.len()], Vec::new()))
+            .map(|_| (vec![Vec::new(); keep.len()], Vec::new(), Vec::new()))
             .collect();
         let mut tasks = Vec::with_capacity(parts.len());
         for (w, part) in bounds.windows(2).zip(parts.iter_mut()) {
             let (lo, hi) = (w[0], w[1]);
             let run_fold = &run_fold;
-            tasks.push(move || run_fold(lo, hi, &mut part.0, &mut part.1));
+            tasks.push(move || run_fold(lo, hi, &mut part.0, &mut part.1, &mut part.2));
         }
         crate::pool::run_scope(par.threads, tasks);
         // Concatenate morsel outputs in key order.
         let mut out_cols: Vec<Vec<Vid>> = vec![Vec::new(); keep.len()];
         let mut out_scores: Vec<f64> = Vec::new();
-        for (cols, scores) in parts {
+        let mut out_aux: Vec<f64> = Vec::new();
+        for (cols, scores, auxs) in parts {
             for (out, col) in out_cols.iter_mut().zip(cols) {
                 out.extend(col);
             }
             out_scores.extend(scores);
+            out_aux.extend(auxs);
         }
-        (out_cols, out_scores)
+        (out_cols, out_scores, out_aux)
     };
 
     let out = Rel {
@@ -915,7 +1033,7 @@ fn project_fold(input: &Rel, keep: &[Var], fold: ProjFold, par: Par, scratch: &m
     // Groups were emitted in group-key order, which *is* the canonical
     // order of the output columns; groups are distinct by construction.
     out.assert_canonical();
-    out
+    (out, aux.map(|_| out_aux))
 }
 
 /// Probabilistic projection with duplicate elimination: group by `keep`
@@ -973,6 +1091,21 @@ pub fn min_into(acc: &mut Rel, next: &Rel) {
 /// scratch is only touched when `next`'s column order differs from
 /// `acc`'s and a key re-sort is needed).
 pub fn min_into_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) {
+    min_into_impl(acc, next, par, scratch, true);
+}
+
+/// [`min_into_par`] restricted to `acc`'s key set: keys present only in
+/// `next` are *dropped* instead of merged in. Used by the top-k driver,
+/// where `acc` holds the surviving answer groups and later plans are
+/// evaluated over a filtered input that may still produce rows for
+/// already-pruned groups (the filter is per-variable, not per-tuple).
+/// Matching keys take the exact same in-place pointwise min as
+/// [`min_into_par`], so surviving scores stay bit-identical.
+pub(crate) fn min_into_matching_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) {
+    min_into_impl(acc, next, par, scratch, false);
+}
+
+fn min_into_impl(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch, keep_extras: bool) {
     acc.assert_canonical();
     next.assert_canonical();
     let perm: Vec<usize> = acc
@@ -1013,7 +1146,7 @@ pub fn min_into_par(acc: &mut Rel, next: &Rel, par: Par, scratch: &mut Scratch) 
     }
     extras.extend(nkeys[j..].iter().map(|e| e.row));
     drop(acc_cols);
-    if extras.is_empty() {
+    if extras.is_empty() || !keep_extras {
         return;
     }
 

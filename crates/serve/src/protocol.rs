@@ -13,7 +13,7 @@
 //! request frame yields exactly one response frame, in order.
 //!
 //! A request body's first line starts with a command word (`QUERY`,
-//! `INGEST`, `STATS`, `PING`, `QUIT`). A response body's first line is
+//! `TOPK`, `INGEST`, `STATS`, `PING`, `QUIT`). A response body's first line is
 //! either `OK …` or `ERR <CODE> <message>`; any further lines are
 //! command-specific payload. The human-readable spec with annotated
 //! example sessions lives in `docs/PROTOCOL.md`; this module is its
@@ -111,6 +111,15 @@ pub enum Request {
         /// The datalog text after the command word.
         text: String,
     },
+    /// `TOPK <k> <datalog>` — rank only the `k` best answers through the
+    /// engine's anytime top-k driver (bit-identical to the first `k`
+    /// lines of the corresponding `QUERY` response).
+    Topk {
+        /// How many answers to rank (≥ 1).
+        k: usize,
+        /// The datalog text after the count.
+        text: String,
+    },
     /// `INGEST <relation>` + one CSV row per following line.
     Ingest {
         /// Target relation name.
@@ -156,6 +165,27 @@ pub fn parse_request(body: &str) -> Result<Request, (ErrorCode, String)> {
             }
             Ok(Request::Query { text: args.into() })
         }
+        "TOPK" => {
+            let usage = || {
+                (
+                    ErrorCode::BadCommand,
+                    "usage: TOPK <k> <datalog query> (one line, k >= 1)".into(),
+                )
+            };
+            if !rest.trim().is_empty() {
+                return Err(usage());
+            }
+            let (count, text) = args.split_once(char::is_whitespace).ok_or_else(usage)?;
+            let k: usize = count.parse().ok().filter(|&k| k >= 1).ok_or_else(usage)?;
+            let text = text.trim();
+            if text.is_empty() {
+                return Err(usage());
+            }
+            Ok(Request::Topk {
+                k,
+                text: text.into(),
+            })
+        }
         "INGEST" => {
             if args.is_empty() || args.split_whitespace().count() != 1 {
                 return Err((
@@ -170,7 +200,9 @@ pub fn parse_request(body: &str) -> Result<Request, (ErrorCode, String)> {
         }
         other => Err((
             ErrorCode::BadCommand,
-            format!("unknown command `{other}` (expected QUERY, INGEST, STATS, PING, or QUIT)"),
+            format!(
+                "unknown command `{other}` (expected QUERY, TOPK, INGEST, STATS, PING, or QUIT)"
+            ),
         )),
     }
 }
@@ -265,7 +297,26 @@ mod tests {
                 rows: "1,0.5\n2,0.5".into()
             })
         );
-        for bad in ["", "NOSUCH", "PING extra", "QUERY", "INGEST", "INGEST a b"] {
+        assert_eq!(
+            parse_request("TOPK 5 q(x) :- R(x), S(x, y)"),
+            Ok(Request::Topk {
+                k: 5,
+                text: "q(x) :- R(x), S(x, y)".into()
+            })
+        );
+        for bad in [
+            "",
+            "NOSUCH",
+            "PING extra",
+            "QUERY",
+            "INGEST",
+            "INGEST a b",
+            "TOPK",
+            "TOPK 5",
+            "TOPK 0 q :- R(x)",
+            "TOPK five q :- R(x)",
+            "TOPK 5 q :- R(x)\nextra line",
+        ] {
             assert_eq!(
                 parse_request(bad).unwrap_err().0,
                 ErrorCode::BadCommand,

@@ -21,8 +21,10 @@ use crate::protocol::{
     err_response, parse_request, read_frame, render_answers, write_frame, ErrorCode, Request,
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
-use lapush_core::{single_plan_id, EnumOptions, PlanStore, SchemaInfo, ShapeKey};
-use lapush_engine::{ExecOptions, IncrementalEval, Semantics};
+use lapush_core::{
+    minimal_plan_set_opts, single_plan_id, EnumOptions, PlanStore, SchemaInfo, ShapeKey,
+};
+use lapush_engine::{propagation_score_topk, AnswerSet, ExecOptions, IncrementalEval, Semantics};
 use lapush_query::parse_query;
 use lapush_storage::csv::{relation_from_text, CsvOptions};
 use lapush_storage::Database;
@@ -68,8 +70,15 @@ struct Shared {
     answers: Mutex<AnswerCache>,
     threads: usize,
     max_frame: usize,
-    /// Successfully evaluated `QUERY` commands (cache hits included).
+    /// Successfully evaluated `QUERY`/`TOPK` commands (cache hits
+    /// included).
     queries_served: AtomicU64,
+    /// Answer groups carried through the multi-plan combine by `TOPK`
+    /// evaluations (cumulative; cache hits add nothing).
+    topk_evaluated: AtomicU64,
+    /// Answer groups pruned after the first plan's bounds pass by `TOPK`
+    /// evaluations (cumulative).
+    topk_pruned: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -98,6 +107,8 @@ impl Server {
                 threads: config.threads.max(1),
                 max_frame: config.max_frame,
                 queries_served: AtomicU64::new(0),
+                topk_evaluated: AtomicU64::new(0),
+                topk_pruned: AtomicU64::new(0),
                 stop: AtomicBool::new(false),
             }),
         })
@@ -224,6 +235,7 @@ fn handle_request(shared: &Shared, body: &str) -> (String, bool) {
         Request::Quit => ("OK bye".into(), true),
         Request::Stats => (render_stats(shared), false),
         Request::Query { text } => (run_query(shared, &text), false),
+        Request::Topk { k, text } => (run_topk(shared, k, &text), false),
         Request::Ingest { relation, rows } => (run_ingest(shared, &relation, &rows), false),
     }
 }
@@ -295,6 +307,66 @@ fn run_query(shared: &Shared, text: &str) -> String {
                 eval,
             }),
         );
+    shared.queries_served.fetch_add(1, Ordering::SeqCst);
+    render_answers(&ans)
+}
+
+/// `TOPK`: the `k` best answers by propagation score, evaluated over the
+/// full minimal plan set through the engine's anytime top-k driver
+/// (bound-propagation pruning before the multi-plan min-combine; the
+/// response is bit-identical to the first `k` lines of `QUERY`). Results
+/// are answer-cached under a `TOPK <k> `-prefixed key, but **without**
+/// incremental state: a pruned evaluation has no full per-node views to
+/// maintain, so the next `INGEST` drops the entry — recorded in
+/// `delta.fallbacks` — and the next `TOPK` re-evaluates from scratch.
+fn run_topk(shared: &Shared, k: usize, text: &str) -> String {
+    let q = match parse_query(text) {
+        Ok(q) => q,
+        Err(e) => return err_response(ErrorCode::Parse, &e.to_string()),
+    };
+    let key = format!("TOPK {k} {}", q.display());
+
+    let db = shared.db.read().unwrap_or_else(|e| e.into_inner());
+    let stamp = DbStamp::of(&db);
+    if let Some(ans) = shared
+        .answers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .lookup(&key, stamp)
+    {
+        shared.queries_served.fetch_add(1, Ordering::SeqCst);
+        return render_answers(&ans);
+    }
+
+    // The plan cache holds single-plan entries (Optimizations 1+2); the
+    // top-k driver needs the whole minimal plan set, so enumerate it here
+    // — enumeration is query-shape work, far cheaper than evaluation.
+    let schema = SchemaInfo::from_query(&q);
+    let set = minimal_plan_set_opts(&q, &schema, EnumOptions::default());
+    let exec = ExecOptions {
+        semantics: Semantics::Probabilistic,
+        reuse_views: true,
+        threads: shared.threads,
+    };
+    let res = match propagation_score_topk(&db, &q, &set.store, &set.roots, k, exec) {
+        Ok(r) => r,
+        Err(e) => return err_response(ErrorCode::Exec, &e.to_string()),
+    };
+    shared
+        .topk_evaluated
+        .fetch_add(res.stats.evaluated, Ordering::SeqCst);
+    shared
+        .topk_pruned
+        .fetch_add(res.stats.pruned, Ordering::SeqCst);
+    let ans = Arc::new(AnswerSet {
+        vars: q.head().to_vec(),
+        rows: res.ranked.into_iter().collect(),
+    });
+    shared
+        .answers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, stamp, ans.clone(), None);
     shared.queries_served.fetch_add(1, Ordering::SeqCst);
     render_answers(&ans)
 }
@@ -383,13 +455,15 @@ fn render_stats(shared: &Shared) -> String {
     // skips it by design. Deterministic per machine/environment; scripted
     // sessions that byte-diff STATS pin it with `LAPUSH_KERNELS`.
     format!(
-        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\ndelta.batches={}\ndelta.rows={}\ndelta.fallbacks={}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}\nkernels.path={}",
+        "OK stats\nproto.version={PROTOCOL_VERSION}\nqueries.served={}\ndb.relations={relations}\ndb.tuples={tuples}\ndb.cells={cells}\n{}\n{}\ndelta.batches={}\ndelta.rows={}\ndelta.fallbacks={}\ntopk.evaluated={}\ntopk.pruned={}\npool.scopes={}\npool.tasks={}\npool.inline={}\npool.steals={}\nkernels.path={}",
         shared.queries_served.load(Ordering::SeqCst),
         cache_lines("plan_cache", plan_stats, plan_len),
         cache_lines("answer_cache", ans_stats, ans_len),
         delta.batches,
         delta.rows,
         delta.fallbacks,
+        shared.topk_evaluated.load(Ordering::SeqCst),
+        shared.topk_pruned.load(Ordering::SeqCst),
         pool.scopes,
         pool.tasks,
         pool.inline,

@@ -23,4 +23,6 @@ pub mod tpch;
 pub use chain::{chain_db, chain_query, find_chain_domain};
 pub use random::{random_db_for_query, random_query};
 pub use star::{find_star_domain, star_db, star_query};
-pub use tpch::{tpch_db, tpch_query, TpchConfig};
+pub use tpch::{
+    tpch_chain_db, tpch_chain_query, tpch_chain_query_pairs, tpch_db, tpch_query, TpchConfig,
+};

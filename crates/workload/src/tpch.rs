@@ -188,6 +188,44 @@ pub fn tpch_db(cfg: TpchConfig) -> Result<Database, StorageError> {
     Ok(db)
 }
 
+/// [`tpch_db`] plus two chain-extension tables: `L(l_partkey, l_orderkey)`
+/// (each part appears on `lineitems_per_part` order lines) and
+/// `O(o_orderkey, o_orderdate)` with `orders` rows and day-granularity
+/// dates. The extensions draw from their own RNG stream, so the `S`, `PS`,
+/// and `P` tables are **bitwise identical** to `tpch_db(cfg)` for every
+/// knob setting — existing benchmark checksums cannot drift.
+///
+/// Used by the four-atom chain query [`tpch_chain_query`], whose plan set
+/// is large enough (five minimal plans) to exercise multi-plan pruning;
+/// the paper's three-atom query has only two.
+pub fn tpch_chain_db(
+    cfg: TpchConfig,
+    lineitems_per_part: usize,
+    orders: usize,
+) -> Result<Database, StorageError> {
+    let mut db = tpch_db(cfg)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4c4f); // "LO"
+    let l = db.create_relation("L", 2)?;
+    let o = db.create_relation("O", 2)?;
+    let orders = orders.max(1);
+    for ok in 1..=orders as i64 {
+        // TPC-H order dates span ~7 years; days since epoch start.
+        let date = rng.gen_range(0..2557);
+        let prob = rng.gen_range(0.0..=cfg.pi_max);
+        db.relation_mut(o)
+            .push(Box::new([Value::Int(ok), Value::Int(date)]), prob)?;
+    }
+    for pk in 1..=cfg.parts as i64 {
+        for _ in 0..lineitems_per_part {
+            let ok = rng.gen_range(1..=orders as i64);
+            let prob = rng.gen_range(0.0..=cfg.pi_max);
+            db.relation_mut(l)
+                .push(Box::new([Value::Int(pk), Value::Int(ok)]), prob)?;
+        }
+    }
+    Ok(db)
+}
+
 /// A TPC-H style part name: five distinct color words.
 pub fn part_name(rng: &mut StdRng) -> String {
     let mut words: Vec<&str> = Vec::with_capacity(5);
@@ -205,6 +243,32 @@ pub fn part_name(rng: &mut StdRng) -> String {
 pub fn tpch_query(param1: i64, param2: &str) -> Query {
     parse_query(&format!(
         "Q(a) :- S(s, a), PS(s, u), P(u, n), s <= {param1}, n like '{param2}'"
+    ))
+    .expect("well-formed query template")
+}
+
+/// The four-atom chain ranking query over the [`tpch_chain_db`] tables:
+/// `Q(a) :- S(s, a), PS(s, u), L(u, o), O(o, d), s ≤ $1` — nations ranked
+/// through supplier → partsupp → lineitem → order.
+pub fn tpch_chain_query(param1: i64) -> Query {
+    parse_query(&format!(
+        "Q(a) :- S(s, a), PS(s, u), L(u, o), O(o, d), s <= {param1}"
+    ))
+    .expect("well-formed query template")
+}
+
+/// The same four-atom chain ranking `(nation, date)` pairs:
+/// `Q(a, d) :- S(s, a), PS(s, u), L(u, o), O(o, d), s ≤ $1` — which
+/// nation supplied something on which order date, ranked by probability.
+/// Same five-plan set as [`tpch_chain_query`] (the head variables sit on
+/// the chain's two ends, like the paper's k-chain queries), but with one
+/// answer group per surviving pair — thousands of groups with small,
+/// dispersed lineages, which is the regime anytime top-k pruning is
+/// built for: head-variable filters anchor both ends of every remaining
+/// plan after the bounds pass.
+pub fn tpch_chain_query_pairs(param1: i64) -> Query {
+    parse_query(&format!(
+        "Q(a, d) :- S(s, a), PS(s, u), L(u, o), O(o, d), s <= {param1}"
     ))
     .expect("well-formed query template")
 }
@@ -280,6 +344,40 @@ mod tests {
         let q = tpch_query(1000, "%red%green%");
         assert_eq!(q.atoms().len(), 3);
         assert_eq!(q.predicates().len(), 2);
+        assert_eq!(q.head().len(), 1);
+    }
+
+    #[test]
+    fn chain_db_extends_without_touching_base_tables() {
+        let cfg = TpchConfig {
+            suppliers: 50,
+            parts: 200,
+            pi_max: 0.4,
+            seed: 7,
+        };
+        let base = tpch_db(cfg).unwrap();
+        let chain = tpch_chain_db(cfg, 3, 120).unwrap();
+        assert_eq!(chain.relation_by_name("O").unwrap().len(), 120);
+        // L may dedup (part, order) collisions under set semantics.
+        let l = chain.relation_by_name("L").unwrap().len();
+        assert!(l > 500 && l <= 600, "{l}");
+        // The shared tables are bitwise identical to the plain generator.
+        for name in ["S", "PS", "P"] {
+            let a = base.relation_by_name(name).unwrap();
+            let b = chain.relation_by_name(name).unwrap();
+            assert_eq!(a.len(), b.len(), "{name}");
+            for i in 0..a.len() as u32 {
+                assert_eq!(a.row(i), b.row(i), "{name} row {i}");
+                assert_eq!(a.prob(i).to_bits(), b.prob(i).to_bits(), "{name} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_query_template_parses() {
+        let q = tpch_chain_query(250);
+        assert_eq!(q.atoms().len(), 4);
+        assert_eq!(q.predicates().len(), 1);
         assert_eq!(q.head().len(), 1);
     }
 

@@ -13,8 +13,10 @@ use lapushdb::core::{
     count_all_plans, count_dissociations, count_minimal_plans, minimal_plan_set,
     shared_subqueries_in, single_plan_id, EnumOptions, SchemaInfo,
 };
+use lapushdb::engine::plan_cost_estimates;
 use lapushdb::prelude::*;
 use lapushdb::query::is_hierarchical;
+use lapushdb::workload::random_db_for_query;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = std::env::args()
@@ -56,6 +58,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         set.tree_node_count(),
         set.len()
     );
+
+    // The engine evaluates multi-plan sets cheapest-first (reachable node
+    // count × input cardinality), which is also what lets the anytime
+    // top-k driver tighten its pruning threshold fastest. Cardinalities
+    // come from the database, so the ordering is demonstrated against a
+    // small seeded demo instance of the query's relations.
+    let demo = random_db_for_query(&q, 7, 64, 8, 1.0)?;
+    let mut est = plan_cost_estimates(&demo, &q, &set.store, &set.roots);
+    est.sort_by_key(|&(_, cost)| cost);
+    println!("\nevaluation order (cheapest-first, nodes × input rows, demo db):");
+    for (rank, (root, cost)) in est.iter().enumerate() {
+        let pos = set.roots.iter().position(|r| r == root).unwrap() + 1;
+        println!(
+            "  {}. P{pos} (cost {cost}): {}",
+            rank + 1,
+            set.store.plan(*root).render(&q)
+        );
+    }
 
     let schema = SchemaInfo::from_query(&q);
     let mut sp_store = PlanStore::new();

@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             opt: OptLevel::MultiPlan,
             use_schema: true,
             threads: 1,
+            top_k: None,
         },
     )?
     .boolean_score();

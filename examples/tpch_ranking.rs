@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             opt: lapushdb::OptLevel::Opt123,
             use_schema: false,
             threads: 1,
+            top_k: None,
         },
     )?;
     let t_diss = t0.elapsed();

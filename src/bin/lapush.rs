@@ -13,6 +13,13 @@
 //! [low, ρ] interval), `exact` (WMC oracle), `mc` (Monte Carlo, with
 //! `--samples`), `sql` (deterministic answers), `plans` (print plans only).
 //!
+//! `--top-k N` (with `--method diss`) ranks only the `N` best answers
+//! through the engine's anytime top-k driver: after one bounds pass over
+//! the cheapest plan, answer groups that provably cannot reach the k-th
+//! best lower bound are pruned before the remaining plans are evaluated.
+//! The printed answers are bit-identical to the first `N` lines of the
+//! exhaustive ranking.
+//!
 //! `--threads N` (default 1) turns on the engine's morsel parallelism:
 //! large joins/scans are partitioned by key range and the outer loops
 //! (minimal-plan roots, per-answer sampling) run as tasks on a
@@ -352,8 +359,25 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     match method.as_str() {
         "diss" => {
+            let top_k: Option<usize> = match arg("top-k") {
+                Some(k) => Some(
+                    k.parse()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or("--top-k needs a positive integer")?,
+                ),
+                None => None,
+            };
             let opts = RankOptions {
                 threads,
+                top_k,
+                // Pruning only pays off across a plan set; single-plan
+                // levels would evaluate fully and truncate.
+                opt: if top_k.is_some() {
+                    OptLevel::MultiPlan
+                } else {
+                    RankOptions::default().opt
+                },
                 ..RankOptions::default()
             };
             let ans = rank_by_dissociation(&db, &q, opts)?;

@@ -1,10 +1,12 @@
 //! High-level drivers tying the crates together: one call from query text
 //! to ranked answers, for each of the paper's evaluation methods.
 
-use lapush_core::{minimal_plan_set_opts, single_plan_id, EnumOptions, PlanStore, SchemaInfo};
+use lapush_core::{
+    minimal_plan_set_opts, single_plan_id, EnumOptions, PlanSet, PlanStore, SchemaInfo,
+};
 use lapush_engine::{
-    eval_plan_id, propagation_score_ids, reduce_database, AnswerSet, ExecError, ExecOptions,
-    Semantics,
+    eval_plan_id, propagation_score_ids, propagation_score_topk, reduce_database, AnswerSet,
+    ExecError, ExecOptions, Semantics, TopkEval, TopkResult, TopkStats,
 };
 use lapush_lineage::{build_lineage, monte_carlo_each, ExactComputer, ExactStats, LineageError};
 use lapush_query::Query;
@@ -41,6 +43,14 @@ pub struct RankOptions {
     /// (`ExecOptions::threads`). `1` — the default — is strictly serial;
     /// any value yields bit-identical answers.
     pub threads: usize,
+    /// Rank only the `k` best answers. Under [`OptLevel::MultiPlan`] this
+    /// routes through the engine's anytime top-k driver
+    /// ([`lapush_engine::propagation_score_topk`]): answer groups whose
+    /// upper bound provably cannot reach the k-th best lower bound are
+    /// pruned before the expensive multi-plan min-combine. Every other
+    /// level evaluates fully and truncates. Either way the returned set
+    /// is bit-identical to the first `k` entries of exhaustive ranking.
+    pub top_k: Option<usize>,
 }
 
 impl Default for RankOptions {
@@ -49,6 +59,7 @@ impl Default for RankOptions {
             opt: OptLevel::default(),
             use_schema: false,
             threads: 1,
+            top_k: None,
         }
     }
 }
@@ -122,7 +133,14 @@ pub fn rank_by_dissociation(
     let ans = match opts.opt {
         OptLevel::MultiPlan => {
             let set = minimal_plan_set_opts(q, &schema, enum_opts);
-            propagation_score_ids(data, q, &set.store, &set.roots, exec_default)?
+            match opts.top_k {
+                Some(k) => {
+                    let res =
+                        propagation_score_topk(data, q, &set.store, &set.roots, k, exec_default)?;
+                    return Ok(answers_from_ranked(q, res.ranked));
+                }
+                None => propagation_score_ids(data, q, &set.store, &set.roots, exec_default)?,
+            }
         }
         OptLevel::Opt1 => {
             let mut store = PlanStore::new();
@@ -140,7 +158,126 @@ pub fn rank_by_dissociation(
             eval_plan_id(data, q, &store, root, exec)?
         }
     };
-    Ok(ans)
+    // Single-plan levels have no multi-plan combine to prune; honour
+    // `top_k` by truncating the full evaluation through the bounded heap.
+    Ok(match opts.top_k {
+        Some(k) => answers_from_ranked(q, ans.ranked_top(k)),
+        None => ans,
+    })
+}
+
+/// Rebuild an [`AnswerSet`] from a ranked prefix (the heads stay in the
+/// query's head order; rank order is recovered by `ranked()`).
+fn answers_from_ranked(q: &Query, ranked: Vec<(Box<[Value]>, f64)>) -> AnswerSet {
+    AnswerSet {
+        vars: q.head().to_vec(),
+        rows: ranked.into_iter().collect(),
+    }
+}
+
+/// Enumerate the minimal plan set for [`anytime_rank`], with the same
+/// schema treatment as [`rank_by_dissociation`]'s `MultiPlan` path. The
+/// set must outlive the [`AnytimeRank`] stepping over it (the stepper
+/// borrows the plan arena).
+pub fn topk_plan_set(db: &Database, q: &Query, opts: RankOptions) -> PlanSet {
+    let schema = if opts.use_schema {
+        SchemaInfo::from_db(q, db)
+    } else {
+        SchemaInfo::from_query(q)
+    };
+    let enum_opts = if opts.use_schema {
+        EnumOptions::full()
+    } else {
+        EnumOptions::default()
+    };
+    minimal_plan_set_opts(q, &schema, enum_opts)
+}
+
+/// Start an anytime top-k ranking over a prepared plan set: an iterator
+/// of refinement snapshots whose `[lo, hi]` score intervals shrink as
+/// plans are folded in, converging to the exact propagation scores.
+///
+/// `opts.opt` is ignored — anytime ranking is inherently multi-plan
+/// (each folded plan tightens the upper bound).
+pub fn anytime_rank<'a>(
+    db: &'a Database,
+    q: &'a Query,
+    set: &'a PlanSet,
+    k: usize,
+    opts: RankOptions,
+) -> Result<AnytimeRank<'a>, DriverError> {
+    let exec = ExecOptions {
+        threads: opts.threads,
+        ..ExecOptions::default()
+    };
+    Ok(AnytimeRank {
+        eval: TopkEval::new(db, q, &set.store, &set.roots, k, exec)?,
+        started: false,
+        failed: false,
+    })
+}
+
+/// An in-flight anytime top-k ranking (see [`anytime_rank`]).
+///
+/// Each `next()` yields an [`AnytimeSnapshot`]; the first is available
+/// after only the cheapest plan, and the last — when
+/// [`AnytimeSnapshot::remaining`] reaches zero — carries exact scores
+/// (`lo == hi`). Stop early for a fast approximate ranking, or drain it
+/// (equivalently call [`AnytimeRank::finish`]) for the top-k set
+/// bit-identical to exhaustive ranking.
+pub struct AnytimeRank<'a> {
+    eval: TopkEval<'a>,
+    started: bool,
+    failed: bool,
+}
+
+/// One refinement snapshot from [`AnytimeRank`].
+#[derive(Debug, Clone)]
+pub struct AnytimeSnapshot {
+    /// Surviving candidate answers with `[lo, hi]` score intervals,
+    /// sorted best upper bound first.
+    pub bounds: Vec<(Box<[Value]>, f64, f64)>,
+    /// Plans not yet folded in; `0` means `bounds` is exact.
+    pub remaining: usize,
+}
+
+impl AnytimeRank<'_> {
+    /// Pruning counters so far.
+    pub fn stats(&self) -> TopkStats {
+        self.eval.stats()
+    }
+
+    /// Fold in every remaining plan and return the final ranked top-k
+    /// answers with their pruning counters.
+    pub fn finish(self) -> Result<TopkResult, DriverError> {
+        Ok(self.eval.finish()?)
+    }
+}
+
+impl Iterator for AnytimeRank<'_> {
+    type Item = Result<AnytimeSnapshot, DriverError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if self.started {
+            match self.eval.step() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            }
+        } else {
+            self.started = true;
+        }
+        Some(Ok(AnytimeSnapshot {
+            bounds: self.eval.bounds(),
+            remaining: self.eval.remaining(),
+        }))
+    }
 }
 
 /// Sandwich bounds (extension beyond the paper): for every answer, a
@@ -350,6 +487,7 @@ mod tests {
                 opt: OptLevel::MultiPlan,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap()
@@ -362,6 +500,7 @@ mod tests {
                     opt,
                     use_schema: false,
                     threads: 1,
+                    top_k: None,
                 },
             )
             .unwrap()
@@ -419,6 +558,86 @@ mod tests {
     }
 
     #[test]
+    fn top_k_matches_exhaustive_prefix_across_levels() {
+        let db = rst_db();
+        let q = parse_query("q(x) :- R(x), S(x, y), T(y)").unwrap();
+        for opt in [
+            OptLevel::MultiPlan,
+            OptLevel::Opt1,
+            OptLevel::Opt12,
+            OptLevel::Opt123,
+        ] {
+            let base = RankOptions {
+                opt,
+                ..RankOptions::default()
+            };
+            let full = rank_by_dissociation(&db, &q, base).unwrap();
+            // k = 1 (proper prefix), k = answer count, k beyond it.
+            for k in [1, full.len(), full.len() + 3] {
+                let top = rank_by_dissociation(
+                    &db,
+                    &q,
+                    RankOptions {
+                        top_k: Some(k),
+                        ..base
+                    },
+                )
+                .unwrap();
+                let want = full.ranked_top(k);
+                let got = top.ranked();
+                assert_eq!(want.len(), got.len(), "{opt:?} k={k}");
+                for ((wk, ws), (gk, gs)) in want.iter().zip(got.iter()) {
+                    assert_eq!(wk, gk, "{opt:?} k={k}");
+                    assert_eq!(ws.to_bits(), gs.to_bits(), "{opt:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anytime_iterator_shrinks_to_exact() {
+        let db = rst_db();
+        // The Boolean variant is unsafe and has two minimal plans.
+        let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
+        let opts = RankOptions::default();
+        let set = topk_plan_set(&db, &q, opts);
+        assert!(set.roots.len() > 1, "query must be multi-plan");
+
+        let snaps: Vec<AnytimeSnapshot> = anytime_rank(&db, &q, &set, 1, opts)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        // One snapshot per plan, with `remaining` counting down to exact.
+        assert_eq!(snaps.len(), set.roots.len());
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.remaining, set.roots.len() - 1 - i);
+            for (_, lo, hi) in &snap.bounds {
+                assert!(lo <= hi, "interval must be ordered");
+            }
+        }
+        for (_, lo, hi) in &snaps.last().unwrap().bounds {
+            assert_eq!(lo.to_bits(), hi.to_bits(), "final bounds are exact");
+        }
+
+        // Draining via `finish` reproduces exhaustive ranking bitwise.
+        let fresh = anytime_rank(&db, &q, &set, 1, opts).unwrap();
+        let res = fresh.finish().unwrap();
+        let full = rank_by_dissociation(
+            &db,
+            &q,
+            RankOptions {
+                opt: OptLevel::MultiPlan,
+                ..opts
+            },
+        )
+        .unwrap();
+        let want = full.ranked_top(1);
+        assert_eq!(res.ranked.len(), want.len());
+        assert_eq!(res.ranked[0].0, want[0].0);
+        assert_eq!(res.ranked[0].1.to_bits(), want[0].1.to_bits());
+    }
+
+    #[test]
     fn schema_knowledge_changes_nothing_without_schema() {
         let db = rst_db();
         let q = parse_query("q :- R(x), S(x, y), T(y)").unwrap();
@@ -429,6 +648,7 @@ mod tests {
                 opt: OptLevel::Opt12,
                 use_schema: true,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap()
@@ -440,6 +660,7 @@ mod tests {
                 opt: OptLevel::Opt12,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap()

@@ -69,6 +69,7 @@ fn optimization_levels_agree_on_random_instances() {
                 opt: OptLevel::MultiPlan,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap();
@@ -80,6 +81,7 @@ fn optimization_levels_agree_on_random_instances() {
                     opt,
                     use_schema: false,
                     threads: 1,
+                    top_k: None,
                 },
             )
             .unwrap();
@@ -207,6 +209,7 @@ fn semijoin_reduction_is_transparent() {
                 opt: OptLevel::Opt12,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap();
@@ -217,6 +220,7 @@ fn semijoin_reduction_is_transparent() {
                 opt: OptLevel::Opt123,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap();

@@ -62,6 +62,7 @@ fn chain_optimizations_agree_at_moderate_scale() {
             opt: OptLevel::MultiPlan,
             use_schema: false,
             threads: 1,
+            top_k: None,
         },
     )
     .unwrap();
@@ -73,6 +74,7 @@ fn chain_optimizations_agree_at_moderate_scale() {
                 opt,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap();

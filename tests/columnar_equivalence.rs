@@ -328,6 +328,7 @@ fn check_all_paths(db: &Database, q: &Query) -> Result<(), TestCaseError> {
                 opt,
                 use_schema: false,
                 threads,
+                top_k: None,
             },
         )
         .expect("rank")
@@ -453,6 +454,7 @@ fn thread_counts_agree_on_chain_star_tpch() {
                     opt,
                     use_schema: false,
                     threads: 1,
+                    top_k: None,
                 },
             )
             .expect("serial");
@@ -464,6 +466,7 @@ fn thread_counts_agree_on_chain_star_tpch() {
                         opt,
                         use_schema: false,
                         threads,
+                        top_k: None,
                     },
                 )
                 .expect("threaded");

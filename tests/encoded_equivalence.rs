@@ -337,6 +337,7 @@ fn check_all_paths(db: &Database, q: &Query) -> Result<(), TestCaseError> {
                 opt,
                 use_schema: false,
                 threads: 1,
+                top_k: None,
             },
         )
         .expect("rank")

@@ -366,6 +366,7 @@ fn forced_paths_bitwise_identical_through_query_evaluation() {
                             opt,
                             use_schema: false,
                             threads,
+                            top_k: None,
                         },
                     )
                     .expect("rank")

@@ -131,6 +131,7 @@ fn schema_aware_driver_is_exact_on_safe_with_dr_query() {
                 opt,
                 use_schema: true,
                 threads: 1,
+                top_k: None,
             },
         )
         .unwrap()

@@ -265,6 +265,57 @@ fn streamed_ingest_keeps_concurrent_queries_fresh() {
 }
 
 #[test]
+fn topk_matches_query_prefix_and_falls_back_on_ingest() {
+    let db = rst_db();
+    let handle = Server::bind_with_db(db, ServerConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // `q(z) :- U(z, x), S(x, y), T(y)` stays unsafe with the head var on
+    // U (the existential x/y pattern still crosses S), so the top-k
+    // driver has a real multi-plan set to prune against. U's z=2 group
+    // hangs off a p=0.2 tuple, far below z=1's best derivation.
+    assert!(client
+        .request("INGEST U\n1,1,0.9\n2,1,0.2")
+        .unwrap()
+        .starts_with("OK "));
+    let q = "q(z) :- U(z, x), S(x, y), T(y)";
+    let full = client.request(&format!("QUERY {q}")).unwrap();
+    let top = client.request(&format!("TOPK 1 {q}")).unwrap();
+    let first = full.lines().nth(1).unwrap();
+    assert_eq!(top, format!("OK 1 answers\n{first}"));
+
+    // Repeat: served from the answer cache, byte-identical.
+    assert_eq!(client.request(&format!("TOPK 1 {q}")).unwrap(), top);
+    let stats = client.request("STATS").unwrap();
+    assert!(stat(&stats, "topk.evaluated").unwrap() >= 1);
+    assert!(
+        stat(&stats, "topk.pruned").unwrap() >= 1,
+        "the weak z=2 group must be pruned"
+    );
+    assert!(stat(&stats, "answer_cache.hits").unwrap() >= 1);
+
+    // Growth drops the stateless TOPK entry — recorded as a fallback —
+    // and the next TOPK re-evaluates against the grown database.
+    assert!(client
+        .request("INGEST T\n9,0.1")
+        .unwrap()
+        .starts_with("OK "));
+    let stats = client.request("STATS").unwrap();
+    assert!(
+        stat(&stats, "delta.fallbacks").unwrap() >= 1,
+        "stateless TOPK entry must fall back on ingest"
+    );
+    let full = client.request(&format!("QUERY {q}")).unwrap();
+    let top = client.request(&format!("TOPK 1 {q}")).unwrap();
+    let first = full.lines().nth(1).unwrap();
+    assert_eq!(top, format!("OK 1 answers\n{first}"));
+    handle.shutdown();
+}
+
+#[test]
 fn protocol_errors_and_new_relations() {
     let handle = Server::bind(ServerConfig::default())
         .unwrap()
